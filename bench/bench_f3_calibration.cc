@@ -1,0 +1,88 @@
+// Experiment F3 — commit-likelihood prediction calibration.
+//
+// Mixed-contention zipfian workload; the predictor's estimates are sampled
+// at two points — the prior (at submit, before any message) and mid-flight
+// (after ~40% of votes) — and compared against realized outcomes as a
+// reliability diagram. Expected shape: observed commit rate tracks the
+// predicted bucket (near-diagonal), mid-flight tighter than prior, low ECE.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace planet;
+
+int main() {
+  ClusterOptions options;
+  options.seed = 31;
+  options.clients_per_dc = 3;
+  options.planet.calibration_buckets = 10;
+  Cluster cluster(options);
+
+  WorkloadConfig wl;
+  wl.num_keys = 400;          // zipfian over a smallish space: per-key
+  wl.dist = KeyDist::kZipf;   // conflict rates span the whole [0,1] range
+  wl.zipf_theta = 0.95;
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 2;
+
+  CalibrationTracker midflight(10);
+  PlanetRunnerPolicy policy;
+  policy.midflight_tracker = &midflight;
+  policy.midflight_votes_fraction = 0.4;
+
+  bench::RunPlanet(cluster, wl, Seconds(600), policy);
+
+  const CalibrationTracker& prior = cluster.context().stats().calibration;
+  Table table({"bucket", "prior n", "prior pred", "prior obs", "mid n",
+               "mid pred", "mid obs"});
+  auto pb = prior.Buckets();
+  auto mb = midflight.Buckets();
+  for (size_t i = 0; i < pb.size(); ++i) {
+    auto obs = [](const CalibrationTracker::Bucket& b) {
+      return b.total == 0 ? std::string("-")
+                          : Table::Fmt(double(b.committed) / double(b.total), 3);
+    };
+    table.AddRow({Table::Fmt(pb[i].lo, 1) + "-" + Table::Fmt(pb[i].hi, 1),
+                  Table::FmtInt((long long)pb[i].total),
+                  pb[i].total ? Table::Fmt(pb[i].mean_predicted, 3) : "-",
+                  obs(pb[i]),
+                  Table::FmtInt((long long)mb[i].total),
+                  mb[i].total ? Table::Fmt(mb[i].mean_predicted, 3) : "-",
+                  obs(mb[i])});
+  }
+  table.Print("F3: commit-likelihood calibration (reliability diagram)",
+              true);
+
+  std::printf(
+      "\nExpected calibration error: prior=%.4f  mid-flight=%.4f  "
+      "(n=%llu / %llu)\n",
+      prior.ExpectedCalibrationError(), midflight.ExpectedCalibrationError(),
+      static_cast<unsigned long long>(prior.total()),
+      static_cast<unsigned long long>(midflight.total()));
+  const PlanetStats& stats = cluster.context().stats();
+  std::printf("Workload: committed=%llu aborted=%llu (commit rate %.1f%%)\n",
+              static_cast<unsigned long long>(stats.committed),
+              static_cast<unsigned long long>(stats.aborted),
+              stats.CommitRate() * 100.0);
+
+  // Ablation: the same workload scored by the naive vote-level model
+  // (independence across acceptor votes). Correlated rejections make it
+  // badly miscalibrated — this is the design-choice evidence.
+  {
+    ClusterOptions ablation = options;
+    ablation.planet.use_option_level_model = false;
+    Cluster naive(ablation);
+    bench::RunPlanet(naive, wl, Seconds(600));
+    const CalibrationTracker& naive_prior = naive.context().stats().calibration;
+    std::printf(
+        "\nAblation (vote-level model, independence assumption): prior "
+        "ECE=%.4f over n=%llu  -> option-level calibration wins by %.1fx\n",
+        naive_prior.ExpectedCalibrationError(),
+        static_cast<unsigned long long>(naive_prior.total()),
+        naive_prior.ExpectedCalibrationError() /
+            std::max(1e-9, prior.ExpectedCalibrationError()));
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Experiment F5 — speculative commits for user experience.
+//
+// Applications arm a deadline well below the wide-area commit latency; at
+// the deadline they speculate when the likelihood clears a threshold and
+// otherwise tell the user "pending". Sweeps the threshold (and a deadline
+// column) and reports user-perceived latency, speculation volume, and the
+// apology rate. Expected shape: speculation slashes user-perceived latency
+// (p50 ~= deadline instead of a WAN round trip); the apology rate is small,
+// bounded by 1 - threshold, and falls as the threshold rises.
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace planet;
+
+namespace {
+
+struct Row {
+  Duration deadline;
+  double threshold;
+  RunMetrics metrics;
+  PlanetStats stats;
+};
+
+Row RunOne(Duration deadline, double threshold) {
+  ClusterOptions options;
+  options.seed = 51;
+  options.clients_per_dc = 3;
+  Cluster cluster(options);
+
+  WorkloadConfig wl;
+  wl.num_keys = 150;  // contended enough that speculation is risky
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 2;
+
+  PlanetRunnerPolicy policy;
+  policy.speculation_deadline = deadline;
+  policy.speculate_threshold = threshold;
+  policy.give_up_below = true;
+
+  // Warm up the conflict/latency models, then measure (cold-start
+  // predictions would otherwise pollute the high-threshold rows).
+  bench::RunPlanet(cluster, wl, Seconds(60), policy);
+  cluster.context().stats().Reset();
+
+  Row row;
+  row.deadline = deadline;
+  row.threshold = threshold;
+  row.metrics = bench::RunPlanet(cluster, wl, Seconds(240), policy);
+  row.stats = cluster.context().stats();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  Table table({"deadline", "threshold", "user p50", "user p99", "final p50",
+               "speculated%", "apology rate", "gave up%", "commit%"});
+
+  // Baseline: no speculation at all.
+  {
+    ClusterOptions options;
+    options.seed = 51;
+    options.clients_per_dc = 3;
+    Cluster cluster(options);
+    WorkloadConfig wl;
+    wl.num_keys = 150;
+    wl.reads_per_txn = 1;
+    wl.writes_per_txn = 2;
+    RunMetrics m = bench::RunPlanet(cluster, wl, Seconds(240));
+    table.AddRow({"none", "-", Table::FmtUs(m.user_latency.Percentile(50)),
+                  Table::FmtUs(m.user_latency.Percentile(99)),
+                  Table::FmtUs(m.latency_all.Percentile(50)), "0.0%", "-",
+                  "0.0%", Table::FmtPct(m.CommitRate())});
+  }
+
+  for (Duration deadline : {Millis(50), Millis(100)}) {
+    for (double threshold : {0.5, 0.8, 0.9, 0.95, 0.99}) {
+      Row row = RunOne(deadline, threshold);
+      double total =
+          double(row.stats.committed + row.stats.aborted +
+                 row.stats.unavailable);
+      double spec_share =
+          total > 0 ? double(row.stats.speculated) / total : 0.0;
+      double gave_up_share =
+          total > 0 ? double(row.stats.gave_up) / total : 0.0;
+      table.AddRow(
+          {Table::FmtUs(deadline), Table::Fmt(threshold, 2),
+           Table::FmtUs(row.metrics.user_latency.Percentile(50)),
+           Table::FmtUs(row.metrics.user_latency.Percentile(99)),
+           Table::FmtUs(row.metrics.latency_all.Percentile(50)),
+           Table::FmtPct(spec_share), Table::Fmt(row.stats.ApologyRate(), 4),
+           Table::FmtPct(gave_up_share),
+           Table::FmtPct(row.metrics.CommitRate())});
+    }
+  }
+  table.Print(
+      "F5: speculation sweep (user-perceived latency vs apology rate)", true);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Experiment F6 — admission control improves goodput under contention.
+//
+// User requests arrive open-loop (Poisson) on a hot key set and are retried
+// on abort (as real applications do), up to 5 attempts with a short backoff;
+// an admission rejection tells the application to back off longer. Without
+// admission control, past saturation every doomed transaction still burns a
+// wide-area round trip while holding pending options that kill other
+// transactions — and its retries amplify the effective load. Sweeps offered
+// load x admission threshold tau. Expected shape: beyond saturation the
+// tau > 0 rows sustain higher request goodput, far fewer wasted WAN
+// attempts per success, and lower time-to-success.
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace planet;
+
+namespace {
+
+struct RetryStats {
+  uint64_t requests = 0;
+  uint64_t succeeded = 0;
+  uint64_t failed = 0;          // exhausted attempts
+  uint64_t attempts = 0;        // transactions actually proposed
+  uint64_t rejected_attempts = 0;
+  Histogram time_to_success;
+};
+
+constexpr int kMaxAttempts = 5;
+constexpr Duration kAbortBackoff = Millis(100);
+constexpr Duration kRejectBackoff = Millis(400);
+
+/// One user request: RMW on 2 hot keys, retried until commit or attempts
+/// run out. Reject backs off longer than abort (the admission contract).
+void RunRequest(Cluster& cluster, PlanetClient* client,
+                std::shared_ptr<KeyChooser> chooser, Rng* rng,
+                RetryStats* stats, std::vector<Key> keys, int attempt,
+                SimTime request_start, std::function<void()> done) {
+  ++stats->attempts;
+  auto values = std::make_shared<std::unordered_map<Key, Value>>();
+  auto remaining = std::make_shared<int>(static_cast<int>(keys.size()));
+  PlanetTransaction txn = client->Begin();
+  txn.OnFinal([&cluster, client, chooser, rng, stats, keys, attempt,
+               request_start, done](Status status) {
+    if (status.ok()) {
+      ++stats->succeeded;
+      stats->time_to_success.Record(cluster.sim().Now() - request_start);
+      done();
+      return;
+    }
+    if (status.IsRejected()) ++stats->rejected_attempts;
+    if (attempt + 1 >= kMaxAttempts) {
+      ++stats->failed;
+      done();
+      return;
+    }
+    Duration backoff = status.IsRejected() ? kRejectBackoff : kAbortBackoff;
+    cluster.sim().Schedule(backoff, [&cluster, client, chooser, rng, stats,
+                                     keys, attempt, request_start, done] {
+      RunRequest(cluster, client, chooser, rng, stats, keys, attempt + 1,
+                 request_start, done);
+    });
+  });
+  for (Key key : keys) {
+    txn.Read(key, [txn, key, values, remaining](Status st, Value v) mutable {
+      PLANET_CHECK(st.ok());
+      (*values)[key] = v;
+      if (--(*remaining) == 0) {
+        for (const auto& [k, val] : *values) {
+          PLANET_CHECK(txn.Write(k, val + 1).ok());
+        }
+        txn.Commit([](const Outcome&) {});
+      }
+    });
+  }
+}
+
+RetryStats RunOne(double rate_per_client, double tau, Duration run_time) {
+  ClusterOptions options;
+  options.seed = 61;
+  options.clients_per_dc = 2;
+  options.planet.enable_admission = tau > 0;
+  options.planet.admission_threshold = tau;
+  Cluster cluster(options);
+
+  WorkloadConfig wl;
+  wl.num_keys = 60;
+  auto chooser = std::make_shared<KeyChooser>(wl);
+  auto stats = std::make_shared<RetryStats>();
+  auto rngs = std::make_shared<std::vector<Rng>>();
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    rngs->push_back(cluster.ForkRng(9000 + i));
+  }
+
+  // Poisson arrivals per client.
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    PlanetClient* client = cluster.planet_client(i);
+    auto schedule_next = std::make_shared<std::function<void()>>();
+    *schedule_next = [&cluster, client, chooser, stats, rngs, i,
+                      rate_per_client, run_time, schedule_next] {
+      Rng& rng = (*rngs)[size_t(i)];
+      Duration gap =
+          static_cast<Duration>(rng.Exponential(1e6 / rate_per_client));
+      SimTime next = cluster.sim().Now() + gap;
+      if (next >= run_time) return;
+      cluster.sim().ScheduleAt(next, [&cluster, client, chooser, stats, rngs,
+                                      i, schedule_next] {
+        ++stats->requests;
+        Rng& rng = (*rngs)[size_t(i)];
+        std::vector<Key> keys = chooser->NextDistinct(rng, 2);
+        RunRequest(cluster, client, chooser, &rng, stats.get(), keys, 0,
+                   cluster.sim().Now(), [] {});
+        (*schedule_next)();
+      });
+    };
+    (*schedule_next)();
+  }
+  cluster.Drain();
+  return *stats;
+}
+
+}  // namespace
+
+int main() {
+  const Duration kRun = Seconds(60);
+  Table table({"offered req/s", "tau", "success/s", "success%",
+               "attempts/success", "wasted aborts/s", "rejects/s",
+               "time-to-success p50", "p95"});
+  for (double rate : {1.0, 4.0, 16.0, 32.0}) {
+    for (double tau : {0.0, 0.3, 0.6}) {
+      RetryStats s = RunOne(rate, tau, kRun);
+      double offered = rate * 10;  // 10 clients
+      double secs = double(kRun) / 1e6;
+      uint64_t proposed = s.attempts - s.rejected_attempts;
+      uint64_t wasted = proposed - s.succeeded;  // proposed but not committed
+      table.AddRow(
+          {Table::Fmt(offered, 0), tau == 0 ? "off" : Table::Fmt(tau, 1),
+           Table::Fmt(double(s.succeeded) / secs, 2),
+           s.requests ? Table::FmtPct(double(s.succeeded) / s.requests) : "-",
+           s.succeeded ? Table::Fmt(double(s.attempts) / s.succeeded, 2) : "-",
+           Table::Fmt(double(wasted) / secs, 2),
+           Table::Fmt(double(s.rejected_attempts) / secs, 2),
+           Table::FmtUs(s.time_to_success.Percentile(50)),
+           Table::FmtUs(s.time_to_success.Percentile(95))});
+    }
+  }
+  table.Print(
+      "F6: request goodput under retries, admission control on hot 60-key "
+      "set (open loop, 10 clients, 5 DCs)",
+      true);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Experiment F7 (ablation/extension) — commutative options under hotspots.
+//
+// MDCC-style commutative updates (with demarcation bounds available) let
+// hot counters absorb concurrent increments without write-write conflicts.
+// Sweep the hot-key count with all-increment traffic: physical RMW options
+// vs commutative delta options. Expected shape: commutative sustains ~100%
+// commit rate down to a single hot key while physical RMW collapses.
+// A second table shows demarcation: decrements against a bounded stock
+// never drive the value below the bound.
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace planet;
+
+int main() {
+  const Duration kRun = Seconds(180);
+  Table table({"hot keys", "physical commit%", "physical gput/s",
+               "commutative commit%", "commutative gput/s"});
+
+  for (uint64_t keys : {32ULL, 8ULL, 2ULL, 1ULL}) {
+    WorkloadConfig wl;
+    wl.num_keys = keys;
+    wl.reads_per_txn = 0;
+    wl.writes_per_txn = 1;
+
+    ClusterOptions options;
+    options.seed = 81;
+    options.clients_per_dc = 3;
+
+    wl.commutative = false;
+    Cluster phys_cluster(options);
+    RunMetrics phys = bench::RunMdcc(phys_cluster, wl, kRun);
+
+    wl.commutative = true;
+    Cluster comm_cluster(options);
+    RunMetrics comm = bench::RunMdcc(comm_cluster, wl, kRun);
+
+    table.AddRow({Table::FmtInt((long long)keys),
+                  Table::FmtPct(phys.CommitRate()),
+                  Table::Fmt(phys.Goodput(kRun), 1),
+                  Table::FmtPct(comm.CommitRate()),
+                  Table::Fmt(comm.Goodput(kRun), 1)});
+  }
+  table.Print("F7: physical RMW vs commutative options on hot counters",
+              true);
+
+  // Demarcation: 15 clients repeatedly decrement a stock of 40 units with
+  // bounds [0, inf). Exactly 40 decrements may commit.
+  {
+    ClusterOptions options;
+    options.seed = 82;
+    options.clients_per_dc = 3;
+    Cluster cluster(options);
+    cluster.SeedKey(0, 40);
+    cluster.SeedBounds(0, ValueBounds{0, 1LL << 40});
+
+    int commits = 0, bounds_aborts = 0;
+    for (int round = 0; round < 6; ++round) {
+      for (int i = 0; i < cluster.num_clients(); ++i) {
+        Client* c = cluster.client(i);
+        TxnId txn = c->Begin();
+        PLANET_CHECK(c->Add(txn, 0, -1).ok());
+        c->Commit(txn, [&](Status s) { s.ok() ? ++commits : ++bounds_aborts; });
+      }
+      cluster.Drain();
+    }
+    Table stock({"initial stock", "decrement attempts", "committed",
+                 "bounds aborts", "final value"});
+    stock.AddRow({"40", Table::FmtInt(6 * cluster.num_clients()),
+                  Table::FmtInt(commits), Table::FmtInt(bounds_aborts),
+                  Table::FmtInt(cluster.replica(0)->store().Read(0).value)});
+    stock.Print("F7: demarcation keeps a bounded stock non-negative");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment F9 — latency unpredictability from load (CPU saturation).
+//
+// The paper's first source of unpredictability is "load spikes in the
+// workload" / "inter-query interactions from consolidation". Replicas get a
+// finite CPU (service cost per protocol message); open-loop arrivals sweep
+// through the saturation point. Queueing delay explodes near saturation —
+// and PLANET's deadline + likelihood machinery keeps the user experience
+// pinned anyway, because the latency model learns the inflated response
+// times. Reports replica utilization, definitive latency, user-perceived
+// latency, and give-up/speculation behaviour per offered load.
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace planet;
+
+int main() {
+  const Duration kRun = Seconds(60);
+  const Duration kServiceCost = Millis(1);  // 1000 msg/s per replica
+  Table table({"offered tx/s", "admission", "util%", "commit%", "rejected",
+               "final p50", "final p99", "user p50", "user p99",
+               "speculated%"});
+
+  for (double rate : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+   for (bool sla_admission : {false, true}) {
+    ClusterOptions options;
+    options.seed = 111;
+    options.clients_per_dc = 2;
+    options.mdcc.replica_service_cost = kServiceCost;
+    if (sla_admission) {
+      // Latency-aware admission: reject transactions whose learned RTT
+      // tails say the 1s SLA is unlikely to be met.
+      options.planet.enable_admission = true;
+      options.planet.admission_threshold = 0.5;
+      options.planet.admission_sla = Seconds(1);
+    }
+    Cluster cluster(options);
+
+    WorkloadConfig wl;
+    wl.num_keys = 100000;  // low contention: this is about load, not locks
+    wl.reads_per_txn = 1;
+    wl.writes_per_txn = 2;
+
+    PlanetRunnerPolicy policy;
+    policy.speculation_deadline = Millis(250);
+    policy.speculate_threshold = 0.9;
+    policy.give_up_below = true;
+
+    LoadGenerator::Options load;
+    load.rate_per_sec = rate;
+
+    RunMetrics m = bench::RunPlanet(cluster, wl, kRun, policy, load);
+    const PlanetStats& stats = cluster.context().stats();
+
+    double util = 0;
+    for (DcId dc = 0; dc < 5; ++dc) {
+      util = std::max(util, cluster.replica(dc)->Utilization());
+    }
+    double finished = double(m.attempted());
+    table.AddRow(
+        {Table::Fmt(rate * 10, 0), sla_admission ? "sla-1s" : "off",
+         Table::FmtPct(util), Table::FmtPct(m.CommitRate()),
+         Table::FmtInt((long long)m.rejected),
+         Table::FmtUs(m.latency_all.Percentile(50)),
+         Table::FmtUs(m.latency_all.Percentile(99)),
+         Table::FmtUs(m.user_latency.Percentile(50)),
+         Table::FmtUs(m.user_latency.Percentile(99)),
+         finished ? Table::FmtPct(double(stats.speculated) / finished) : "-"});
+   }
+  }
+  table.Print(
+      "F9: CPU saturation sweep (1ms/msg replicas, 250ms deadline, thr 0.9)",
+      true);
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) of the performance-critical
+// primitives: histogram, RNG/zipf, store option processing, the likelihood
+// estimator, the event loop, and an end-to-end simulated transaction.
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "harness/cluster.h"
+#include "planet/predictor.h"
+#include "sim/simulator.h"
+#include "storage/store.h"
+
+namespace planet {
+namespace {
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Record(static_cast<int64_t>(rng.Next() % 1000000));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) h.Record(int64_t(rng.Next() % 1000000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Percentile(99));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfNext(benchmark::State& state) {
+  Rng rng(4);
+  ZipfGenerator zipf(uint64_t(state.range(0)), 0.99);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.Next(rng));
+}
+BENCHMARK(BM_ZipfNext)->Arg(1000)->Arg(1000000);
+
+void BM_StoreCheckAcceptApply(benchmark::State& state) {
+  Store store;
+  TxnId txn = 1;
+  Version version = 0;
+  for (auto _ : state) {
+    WriteOption o;
+    o.txn = txn++;
+    o.key = 7;
+    o.kind = OptionKind::kPhysical;
+    o.read_version = version;
+    o.new_value = int64_t(txn);
+    store.AcceptOption(o);
+    store.ApplyOption(o.txn, o.key);
+    ++version;
+  }
+}
+BENCHMARK(BM_StoreCheckAcceptApply);
+
+void BM_StoreRead(benchmark::State& state) {
+  Store store;
+  for (Key k = 0; k < 100000; ++k) store.SeedValue(k, int64_t(k));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Read(rng.Next() % 100000));
+  }
+}
+BENCHMARK(BM_StoreRead);
+
+void BM_BinomialTail(benchmark::State& state) {
+  double p = 0.73;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinomialTail(5, p, 4));
+  }
+}
+BENCHMARK(BM_BinomialTail);
+
+void BM_LikelihoodEstimate(benchmark::State& state) {
+  MdccConfig mdcc;
+  PlanetConfig planet_cfg;
+  LatencyModel latency(5, Millis(100));
+  ConflictModel conflict(0.05);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    conflict.RecordVote(rng.Next() % 100, rng.Bernoulli(0.8));
+    latency.RecordRtt(0, DcId(i % 5), Millis(40 + i % 100));
+  }
+  CommitLikelihoodEstimator estimator(mdcc, planet_cfg, &latency, &conflict);
+  TxnView view;
+  view.phase = TxnPhase::kProposing;
+  for (int k = 0; k < 3; ++k) {
+    OptionProgress op;
+    op.option.key = Key(k);
+    op.votes.assign(5, -1);
+    op.votes[0] = 1;
+    op.accepts = 1;
+    view.options.push_back(op);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(view));
+  }
+}
+BENCHMARK(BM_LikelihoodEstimate);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    uint64_t count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, [&count] { ++count; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_EndToEndTransaction(benchmark::State& state) {
+  // Full simulated RMW transaction on the 5-DC WAN, including the PLANET
+  // layer. Measures simulator-side cost per transaction (not simulated
+  // latency).
+  ClusterOptions options;
+  options.seed = 17;
+  Cluster cluster(options);
+  PlanetClient* client = cluster.planet_client(0);
+  Key key = 0;
+  for (auto _ : state) {
+    PlanetTransaction txn = client->Begin();
+    bool done = false;
+    txn.OnFinal([&done](Status) { done = true; });
+    txn.Read(key, [txn, key](Status, Value v) mutable {
+      (void)txn.Write(key, v + 1);
+      txn.Commit([](const Outcome&) {});
+    });
+    ++key;
+    cluster.Drain();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndTransaction);
+
+void BM_NetworkSend(benchmark::State& state) {
+  Simulator sim;
+  Network net(&sim, Rng(7));
+  net.RegisterNode(0, 0);
+  net.RegisterNode(1, 1);
+  LinkParams link;
+  link.median_one_way = Millis(40);
+  net.SetLink(0, 1, link);
+  for (auto _ : state) {
+    net.Send(0, 1, [] {});
+    sim.Run();
+  }
+}
+BENCHMARK(BM_NetworkSend);
+
+}  // namespace
+}  // namespace planet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Experiment T1 — the emulated five-data-center environment.
+//
+// Validates the latency-injection substrate: prints the configured one-way
+// medians and the *measured* round-trip distribution of real protocol
+// traffic (coordinator-observed vote RTTs), which is exactly what PLANET's
+// latency model learns from.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace planet;
+
+int main() {
+  ClusterOptions options;
+  options.seed = 1;
+  options.clients_per_dc = 1;
+  Cluster cluster(options);
+  const WanPreset& wan = options.wan;
+
+  // Configured one-way medians.
+  {
+    std::vector<std::string> header = {"one-way ms"};
+    for (const auto& name : wan.dc_names) header.push_back(name);
+    Table table(header);
+    for (int a = 0; a < wan.num_dcs(); ++a) {
+      std::vector<std::string> row = {wan.dc_names[size_t(a)]};
+      for (int b = 0; b < wan.num_dcs(); ++b) {
+        row.push_back(a == b ? Table::Fmt(wan.intra_dc_ms, 2)
+                             : Table::Fmt(wan.one_way_ms[size_t(a)][size_t(b)], 0));
+      }
+      table.AddRow(row);
+    }
+    table.Print("T1a: configured one-way latency matrix (ms)");
+  }
+
+  // Measured: drive traffic so every (client DC, replica DC) pair learns.
+  WorkloadConfig wl;
+  wl.num_keys = 1000000;
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 2;
+  bench::RunPlanet(cluster, wl, Seconds(120));
+
+  {
+    std::vector<std::string> header = {"measured RTT"};
+    for (const auto& name : wan.dc_names) header.push_back(name);
+    Table table(header);
+    LatencyModel& lm = cluster.context().latency_model();
+    for (int a = 0; a < wan.num_dcs(); ++a) {
+      std::vector<std::string> row = {wan.dc_names[size_t(a)]};
+      for (int b = 0; b < wan.num_dcs(); ++b) {
+        const Histogram& h = lm.HistogramFor(a, b);
+        if (h.count() == 0) {
+          row.push_back("-");
+        } else {
+          row.push_back(std::string(Table::FmtUs(h.Percentile(50))) + "/" +
+                        Table::FmtUs(h.Percentile(99)));
+        }
+      }
+      table.AddRow(row);
+    }
+    table.Print("T1b: measured vote RTT p50/p99 (client DC x replica DC)");
+  }
+
+  std::printf("\nSamples learned by the latency model: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.context().latency_model().total_samples()));
+  return 0;
+}

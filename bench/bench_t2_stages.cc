@@ -1,0 +1,88 @@
+// Experiment T2 — transaction stage breakdown (progress visibility).
+//
+// Where does wide-area commit time go? From the progress traces of committed
+// transactions: mean elapsed time at each vote arrival and at each stage
+// transition. This is the information PLANET exposes to applications that a
+// conventional commit API hides. Also reports the classic-fallback share.
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace planet;
+
+int main() {
+  ClusterOptions options;
+  options.seed = 71;
+  options.clients_per_dc = 2;
+  Cluster cluster(options);
+
+  WorkloadConfig wl;
+  wl.num_keys = 3000;
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 2;
+
+  struct Agg {
+    double sum = 0;
+    uint64_t n = 0;
+    void Add(Duration d) {
+      sum += double(d);
+      ++n;
+    }
+    std::string Mean() const {
+      return n == 0 ? "-" : Table::FmtUs((long long)(sum / double(n)));
+    }
+  };
+  constexpr int kMaxVotes = 11;
+  std::vector<Agg> vote_time(kMaxVotes);
+  Agg submit_time, classic_time, decide_time;
+  uint64_t classic_txns = 0, committed_txns = 0;
+
+  PlanetRunnerPolicy policy;
+  policy.on_trace = [&](const std::vector<TxnProgress>& trace,
+                        const TxnResult& result) {
+    if (!result.status.ok()) return;
+    ++committed_txns;
+    bool saw_classic = false;
+    int last_votes = -1;
+    for (const TxnProgress& p : trace) {
+      if (p.stage == PlanetStage::kSubmitted && last_votes < 0) {
+        submit_time.Add(p.elapsed);
+      }
+      if (p.stage == PlanetStage::kClassicFallback && !saw_classic) {
+        saw_classic = true;
+        classic_time.Add(p.elapsed);
+      }
+      if (p.stage == PlanetStage::kCommitted) {
+        decide_time.Add(p.elapsed);
+      }
+      if (p.votes_received > last_votes && p.votes_received < kMaxVotes) {
+        vote_time[size_t(p.votes_received)].Add(p.elapsed);
+        last_votes = p.votes_received;
+      }
+    }
+    if (saw_classic) ++classic_txns;
+  };
+
+  bench::RunPlanet(cluster, wl, Seconds(300), policy);
+
+  Table stages({"milestone", "mean elapsed since Begin()"});
+  stages.AddRow({"commit submitted (reads done)", submit_time.Mean()});
+  for (int v = 1; v < kMaxVotes; ++v) {
+    if (vote_time[size_t(v)].n == 0) continue;
+    stages.AddRow({"vote " + std::to_string(v) + " received",
+                   vote_time[size_t(v)].Mean()});
+  }
+  stages.AddRow({"classic fallback entered (if any)", classic_time.Mean()});
+  stages.AddRow({"decision (committed)", decide_time.Mean()});
+  stages.Print("T2: stage timing breakdown, committed transactions", true);
+
+  Table share({"committed txns", "via classic fallback", "share"});
+  share.AddRow({Table::FmtInt((long long)committed_txns),
+                Table::FmtInt((long long)classic_txns),
+                committed_txns
+                    ? Table::FmtPct(double(classic_txns) / committed_txns)
+                    : "-"});
+  share.Print("T2: classic-path share");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment T3 (supplementary) — the interactive web-store mix.
+//
+// The workload family PLANET's introduction motivates: browse / add-to-cart /
+// checkout / profile transactions over geo-replicated data, with zipfian-hot
+// products and a 150 ms interactivity deadline (speculate at >= 0.9).
+// Reports per-transaction-type outcome rates, definitive vs user-perceived
+// latency, and speculation volume. Expected shape: read-only browses are
+// instant and always commit; checkouts (commutative stock + unique order +
+// private cart) commit despite product hotspots; every interactive write
+// type has its user latency pinned near the deadline.
+#include "bench_util.h"
+#include "common/table.h"
+#include "workload/store_app.h"
+
+using namespace planet;
+
+int main() {
+  ClusterOptions options;
+  options.seed = 101;
+  options.clients_per_dc = 3;
+  Cluster cluster(options);
+
+  StoreAppConfig app;
+  app.num_products = 500;
+  app.product_zipf_theta = 0.95;
+  StoreAppStats stats;
+  SeedStore(
+      app, [&](Key k, Value v) { cluster.SeedKey(k, v); },
+      [&](Key k, ValueBounds b) { cluster.SeedBounds(k, b); });
+
+  PlanetRunnerPolicy policy;
+  policy.speculation_deadline = Millis(150);
+  policy.speculate_threshold = 0.9;
+  policy.give_up_below = true;
+
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + i),
+        MakeStoreAppRunner(cluster.planet_client(i), app,
+                           cluster.ForkRng(200 + i), &stats, policy),
+        LoadGenerator::Options{});
+    gen->Start(Seconds(300));
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+
+  Table table({"txn type", "issued", "commit%", "final p50", "final p99",
+               "user p50", "user p99", "speculated%"});
+  for (int t = 0; t < kNumStoreTxnTypes; ++t) {
+    const auto& s = stats.by_type[size_t(t)];
+    if (s.issued == 0) continue;
+    uint64_t finished = s.committed + s.aborted + s.rejected;
+    table.AddRow(
+        {StoreTxnTypeName(static_cast<StoreTxnType>(t)),
+         Table::FmtInt((long long)s.issued),
+         finished ? Table::FmtPct(double(s.committed) / finished) : "-",
+         Table::FmtUs(s.latency.Percentile(50)),
+         Table::FmtUs(s.latency.Percentile(99)),
+         Table::FmtUs(s.user_latency.Percentile(50)),
+         Table::FmtUs(s.user_latency.Percentile(99)),
+         finished ? Table::FmtPct(double(s.speculative) / finished) : "-"});
+  }
+  table.Print("T3: web-store mix, 15 clients, 150ms deadline, thr 0.9", true);
+
+  PLANET_CHECK(cluster.ReplicasConverged());
+  const PlanetStats& ps = cluster.context().stats();
+  Table totals({"committed", "aborted", "speculated", "apologies",
+                "apology rate"});
+  totals.AddRow({Table::FmtInt((long long)ps.committed),
+                 Table::FmtInt((long long)ps.aborted),
+                 Table::FmtInt((long long)ps.speculated),
+                 Table::FmtInt((long long)ps.apologies),
+                 Table::Fmt(ps.ApologyRate(), 4)});
+  totals.Print("T3: totals (replicas converged)");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared plumbing for the experiment binaries: spin up a cluster, drive a
+// workload on every client, collect RunMetrics.
+#ifndef PLANET_BENCH_BENCH_UTIL_H_
+#define PLANET_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+#include "workload/runners.h"
+
+namespace planet {
+namespace bench {
+
+/// Drives `wl` on every PLANET client of `cluster` for `run_time` (simulated)
+/// and returns aggregated metrics. `load` selects closed- vs open-loop.
+inline RunMetrics RunPlanet(Cluster& cluster, const WorkloadConfig& wl,
+                            Duration run_time,
+                            PlanetRunnerPolicy policy = {},
+                            LoadGenerator::Options load = {}) {
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(7000 + i),
+        MakePlanetRunner(cluster.planet_client(i), wl,
+                         cluster.ForkRng(8000 + i), policy),
+        load);
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(cluster.sim().Now() + run_time);
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+  return metrics;
+}
+
+/// Same, over the raw MDCC coordinator.
+inline RunMetrics RunMdcc(Cluster& cluster, const WorkloadConfig& wl,
+                          Duration run_time,
+                          LoadGenerator::Options load = {}) {
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(7000 + i),
+        MakeMdccRunner(cluster.client(i), wl, cluster.ForkRng(8000 + i)),
+        load);
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(cluster.sim().Now() + run_time);
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+  return metrics;
+}
+
+/// Same, over the 2PC baseline.
+inline RunMetrics RunTpc(TpcCluster& cluster, const WorkloadConfig& wl,
+                         Duration run_time,
+                         LoadGenerator::Options load = {}) {
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(7000 + i),
+        MakeTpcRunner(cluster.client(i), wl, cluster.ForkRng(8000 + i)),
+        load);
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(cluster.sim().Now() + run_time);
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+  return metrics;
+}
+
+}  // namespace bench
+}  // namespace planet
+
+#endif  // PLANET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,113 @@
+// Web store under load: the full PLANET toolkit on the application mix.
+//
+// Runs the browse / add-to-cart / checkout / update-profile mix on the 5-DC
+// deployment with the expected-utility advisor making speculation decisions,
+// then prints a per-transaction-type operations dashboard: commit rates,
+// definitive vs user-perceived latency, speculation volume, apology rate,
+// and the learned WAN picture. The end-state audit verifies stock integrity
+// and replica convergence.
+//
+// Build & run:  ./build/examples/web_store
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/cluster.h"
+#include "planet/advisor.h"
+#include "workload/store_app.h"
+
+using namespace planet;
+
+int main() {
+  ClusterOptions options;
+  options.seed = 20260705;
+  options.clients_per_dc = 3;  // 15 app servers
+  Cluster cluster(options);
+
+  StoreAppConfig app;
+  app.num_products = 300;
+  app.num_users = 5000;
+  app.product_zipf_theta = 0.95;  // a few viral products
+  app.initial_stock = 100000;
+  SeedStore(
+      app, [&](Key k, Value v) { cluster.SeedKey(k, v); },
+      [&](Key k, ValueBounds b) { cluster.SeedBounds(k, b); });
+
+  // Business costs drive the deadline behaviour (advisor extension); the
+  // implied likelihood threshold is printed so ops can sanity-check it.
+  SpeculationCosts costs;
+  costs.value_instant_success = 1.0;
+  costs.cost_apology = 9.0;  // refunds are expensive
+  costs.value_late_success = 0.4;
+  costs.value_pending = 0.25;
+  PlanetRunnerPolicy policy;
+  policy.speculation_deadline = Millis(150);
+  policy.speculate_threshold = ImpliedSpeculationThreshold(costs);
+  policy.give_up_below = true;
+  std::printf("advisor-implied speculation threshold: %.3f\n\n",
+              policy.speculate_threshold);
+
+  StoreAppStats stats;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + i),
+        MakeStoreAppRunner(cluster.planet_client(i), app,
+                           cluster.ForkRng(200 + i), &stats, policy),
+        LoadGenerator::Options{});
+    gen->Start(Seconds(120));
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+
+  Table table({"txn type", "issued", "commit%", "final p50", "final p99",
+               "user p50", "user p99", "speculated%"});
+  for (int t = 0; t < kNumStoreTxnTypes; ++t) {
+    const auto& s = stats.by_type[size_t(t)];
+    if (s.issued == 0) continue;
+    uint64_t finished = s.committed + s.aborted + s.rejected;
+    table.AddRow(
+        {StoreTxnTypeName(static_cast<StoreTxnType>(t)),
+         Table::FmtInt((long long)s.issued),
+         finished ? Table::FmtPct(double(s.committed) / finished) : "-",
+         Table::FmtUs(s.latency.Percentile(50)),
+         Table::FmtUs(s.latency.Percentile(99)),
+         Table::FmtUs(s.user_latency.Percentile(50)),
+         Table::FmtUs(s.user_latency.Percentile(99)),
+         finished ? Table::FmtPct(double(s.speculative) / finished) : "-"});
+  }
+  table.Print("store operations dashboard (120s, 15 app servers, 5 DCs)");
+
+  const PlanetStats& ps = cluster.context().stats();
+  std::printf("speculations: %llu  apologies: %llu  (rate %.4f)\n",
+              (unsigned long long)ps.speculated,
+              (unsigned long long)ps.apologies, ps.ApologyRate());
+
+  // Ops view of the WAN as learned by the predictor, from us-west.
+  Table wan({"replica DC", "vote RTT p50", "p99"});
+  LatencyModel& lm = cluster.context().latency_model();
+  for (DcId dc = 0; dc < cluster.num_dcs(); ++dc) {
+    const Histogram& h = lm.HistogramFor(0, dc);
+    if (h.count() == 0) continue;
+    wan.AddRow({options.wan.dc_names[size_t(dc)],
+                Table::FmtUs(h.Percentile(50)), Table::FmtUs(h.Percentile(99))});
+  }
+  wan.Print("learned WAN picture (us-west app servers)");
+
+  // End-state audit: stock arithmetic and convergence.
+  StoreSchema schema(app);
+  Value sold = 0;
+  for (uint64_t p = 0; p < app.num_products; ++p) {
+    Value stock = cluster.replica(0)->store().Read(schema.Product(p)).value;
+    PLANET_CHECK(stock >= 0 && stock <= app.initial_stock);
+    sold += app.initial_stock - stock;
+  }
+  Value expected = Value(stats.For(StoreTxnType::kCheckout).committed *
+                         uint64_t(app.checkout_items));
+  PLANET_CHECK(sold == expected);
+  PLANET_CHECK(cluster.ReplicasConverged());
+  std::printf("\nsold %lld units across %llu checkouts; stock arithmetic "
+              "exact; replicas converged\nweb_store: OK\n",
+              (long long)sold,
+              (unsigned long long)stats.For(StoreTxnType::kCheckout).committed);
+  return 0;
+}

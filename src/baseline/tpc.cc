@@ -1,0 +1,286 @@
+#include "baseline/tpc.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace planet {
+
+TpcNode::TpcNode(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
+                 const TpcConfig& config)
+    : Node(sim, net, id, dc, rng), config_(config) {}
+
+void TpcNode::SetPeers(std::vector<TpcNode*> peers) {
+  PLANET_CHECK(static_cast<int>(peers.size()) == config_.num_dcs);
+  peers_ = std::move(peers);
+}
+
+void TpcNode::HandlePrepare(TxnId txn, Key key, Version read_version,
+                            std::function<void(bool)> reply) {
+  PLANET_CHECK(config_.MasterOf(key) == dc_);
+  auto lock = locks_.find(key);
+  if (lock != locks_.end() && lock->second != txn) {
+    reply(false);  // no-wait: lock conflict votes no
+    return;
+  }
+  if (store_.Read(key).version != read_version) {
+    reply(false);  // stale read
+    return;
+  }
+  locks_[key] = txn;
+  reply(true);
+}
+
+void TpcNode::HandleCommit(TxnId txn, const WriteOption& option,
+                           std::function<void()> reply) {
+  PLANET_CHECK(config_.MasterOf(option.key) == dc_);
+  auto lock = locks_.find(option.key);
+  PLANET_CHECK_MSG(lock != locks_.end() && lock->second == txn,
+                   "commit without lock, key=" << option.key);
+  ApplyOrdered(option);
+  locks_.erase(lock);
+
+  int needed = config_.ReplicationQuorum() - 1;  // master already holds it
+  if (needed <= 0) {
+    reply();
+    return;
+  }
+  auto remaining = std::make_shared<int>(needed);
+  auto done = std::make_shared<bool>(false);
+  auto reply_shared =
+      std::make_shared<std::function<void()>>(std::move(reply));
+  for (TpcNode* peer : peers_) {
+    if (peer == this) continue;
+    NodeId peer_id = peer->id();
+    net_->Send(id_, peer_id, [this, peer, peer_id, option, remaining, done,
+                              reply_shared] {
+      peer->HandleReplicate(option, [this, peer_id, remaining, done,
+                                     reply_shared] {
+        net_->Send(peer_id, id_, [remaining, done, reply_shared] {
+          if (*done) return;
+          if (--(*remaining) <= 0) {
+            *done = true;
+            (*reply_shared)();
+          }
+        });
+      });
+    });
+  }
+}
+
+void TpcNode::HandleAbort(TxnId txn, Key key) {
+  auto lock = locks_.find(key);
+  if (lock != locks_.end() && lock->second == txn) locks_.erase(lock);
+}
+
+void TpcNode::HandleReplicate(const WriteOption& option,
+                              std::function<void()> ack) {
+  ApplyOrdered(option);
+  ack();
+}
+
+void TpcNode::ApplyOrdered(const WriteOption& option) {
+  PLANET_CHECK(option.kind == OptionKind::kPhysical);
+  Version current = store_.Read(option.key).version;
+  if (current == option.read_version) {
+    store_.LearnOption(option);
+    DrainDeferred(option.key);
+  } else if (current < option.read_version) {
+    deferred_[option.key][option.read_version] = option;
+  }
+  // current > read_version: duplicate, ignore.
+}
+
+void TpcNode::DrainDeferred(Key key) {
+  auto it = deferred_.find(key);
+  if (it == deferred_.end()) return;
+  auto& chain = it->second;
+  while (true) {
+    Version current = store_.Read(key).version;
+    auto next = chain.find(current);
+    if (next == chain.end()) break;
+    WriteOption option = next->second;
+    chain.erase(next);
+    store_.LearnOption(option);
+  }
+  if (chain.empty()) deferred_.erase(it);
+}
+
+void TpcNode::HandleRead(Key key, std::function<void(RecordView)> reply) {
+  reply(store_.Read(key));
+}
+
+// --------------------------------------------------------------- client
+
+TpcClient::TpcClient(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
+                     const TpcConfig& config, std::vector<TpcNode*> nodes)
+    : Node(sim, net, id, dc, rng), config_(config), nodes_(std::move(nodes)) {
+  PLANET_CHECK(static_cast<int>(nodes_.size()) == config_.num_dcs);
+}
+
+TxnId TpcClient::Begin() {
+  TxnId txn = (static_cast<TxnId>(id_) << 40) | next_local_txn_++;
+  TxnState& state = txns_[txn];
+  state.id = txn;
+  return txn;
+}
+
+TpcClient::TxnState* TpcClient::Find(TxnId txn) {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+void TpcClient::Read(TxnId txn, Key key, ReadCallback cb) {
+  TxnState* state = Find(txn);
+  PLANET_CHECK(state != nullptr && state->phase == Phase::kExecuting);
+  TpcNode* node = nodes_[static_cast<size_t>(dc_)];
+  NodeId node_id = node->id();
+  net_->Send(id_, node_id, [this, node, node_id, txn, key, cb = std::move(cb)] {
+    node->HandleRead(key, [this, node_id, txn, key, cb](RecordView view) {
+      net_->Send(node_id, id_, [this, txn, key, cb, view] {
+        TxnState* state = Find(txn);
+        if (state != nullptr && state->phase == Phase::kExecuting) {
+          state->read_versions[key] = view.version;
+        }
+        cb(Status::OK(), view);
+      });
+    });
+  });
+}
+
+Status TpcClient::Write(TxnId txn, Key key, Value value) {
+  TxnState* state = Find(txn);
+  if (state == nullptr || state->phase != Phase::kExecuting) {
+    return Status::InvalidArgument("txn not executing");
+  }
+  auto rv = state->read_versions.find(key);
+  if (rv == state->read_versions.end()) {
+    return Status::FailedPrecondition("write requires a prior read (RMW)");
+  }
+  WriteOption option;
+  option.txn = txn;
+  option.key = key;
+  option.kind = OptionKind::kPhysical;
+  option.read_version = rv->second;
+  option.new_value = value;
+  state->writes[key] = option;
+  return Status::OK();
+}
+
+void TpcClient::Commit(TxnId txn, CommitCallback cb) {
+  TxnState* state = Find(txn);
+  PLANET_CHECK(state != nullptr && state->phase == Phase::kExecuting);
+  state->cb = std::move(cb);
+  if (state->writes.empty()) {
+    state->phase = Phase::kCommitting;
+    Finish(*state, Status::OK());
+    return;
+  }
+  state->phase = Phase::kPreparing;
+  state->votes_pending = static_cast<int>(state->writes.size());
+  state->timeout_event = sim_->Schedule(config_.txn_timeout, [this, txn] {
+    TxnState* st = Find(txn);
+    if (st == nullptr || st->phase != Phase::kPreparing) return;
+    st->timeout_event = kInvalidEventId;
+    StartPhase2(*st, /*commit=*/false, Status::Unavailable("prepare timeout"));
+  });
+
+  for (const auto& [key, option] : state->writes) {
+    DcId home = config_.MasterOf(key);
+    TpcNode* node = nodes_[static_cast<size_t>(home)];
+    NodeId node_id = node->id();
+    Version rv = option.read_version;
+    net_->Send(id_, node_id, [this, node, node_id, txn, key = key, rv] {
+      node->HandlePrepare(txn, key, rv, [this, node_id, txn, key](bool yes) {
+        net_->Send(node_id, id_, [this, txn, key, yes] {
+          OnVote(txn, key, yes);
+        });
+      });
+    });
+  }
+}
+
+void TpcClient::OnVote(TxnId txn, Key key, bool yes) {
+  TxnState* state = Find(txn);
+  if (state == nullptr) return;
+  if (state->phase != Phase::kPreparing) {
+    // Late vote after a timeout-abort: release the stray lock.
+    if (yes) {
+      DcId home = config_.MasterOf(key);
+      TpcNode* node = nodes_[static_cast<size_t>(home)];
+      net_->Send(id_, node->id(), [node, txn, key] {
+        node->HandleAbort(txn, key);
+      });
+    }
+    return;
+  }
+  --state->votes_pending;
+  if (yes) {
+    state->prepared.push_back(key);
+  } else {
+    state->vote_failed = true;
+  }
+  if (state->votes_pending == 0) {
+    if (state->vote_failed) {
+      StartPhase2(*state, /*commit=*/false, Status::Aborted("prepare no"));
+    } else {
+      StartPhase2(*state, /*commit=*/true, Status::OK());
+    }
+  }
+}
+
+void TpcClient::StartPhase2(TxnState& state, bool commit, Status outcome) {
+  state.phase = Phase::kCommitting;
+  TxnId txn = state.id;
+  if (!commit) {
+    for (Key key : state.prepared) {
+      DcId home = config_.MasterOf(key);
+      TpcNode* node = nodes_[static_cast<size_t>(home)];
+      net_->Send(id_, node->id(), [node, txn, key] {
+        node->HandleAbort(txn, key);
+      });
+    }
+    Finish(state, std::move(outcome));
+    return;
+  }
+  state.acks_pending = static_cast<int>(state.writes.size());
+  for (const auto& [key, option] : state.writes) {
+    DcId home = config_.MasterOf(key);
+    TpcNode* node = nodes_[static_cast<size_t>(home)];
+    NodeId node_id = node->id();
+    net_->Send(id_, node_id, [this, node, node_id, txn, option = option] {
+      node->HandleCommit(txn, option, [this, node_id, txn] {
+        net_->Send(node_id, id_, [this, txn] { OnCommitAck(txn); });
+      });
+    });
+  }
+}
+
+void TpcClient::OnCommitAck(TxnId txn) {
+  TxnState* state = Find(txn);
+  if (state == nullptr || state->phase != Phase::kCommitting) return;
+  if (--state->acks_pending == 0) Finish(*state, Status::OK());
+}
+
+void TpcClient::Finish(TxnState& state, Status outcome) {
+  if (state.phase == Phase::kDone) return;
+  state.phase = Phase::kDone;
+  if (state.timeout_event != kInvalidEventId) {
+    sim_->Cancel(state.timeout_event);
+    state.timeout_event = kInvalidEventId;
+  }
+  if (outcome.ok()) {
+    ++committed_;
+  } else {
+    ++aborted_;
+  }
+  TxnId txn = state.id;
+  CommitCallback cb = std::move(state.cb);
+  sim_->Schedule(0, [cb = std::move(cb), outcome] {
+    if (cb) cb(outcome);
+  });
+  // Keep the state briefly so late votes can release stray locks, then GC.
+  sim_->Schedule(2 * config_.txn_timeout, [this, txn] { txns_.erase(txn); });
+}
+
+}  // namespace planet

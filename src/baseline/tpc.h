@@ -1,0 +1,132 @@
+// Geo-replicated two-phase-commit baseline.
+//
+// This is the comparison system: a classical eager commit protocol with
+// primary-copy semantics and no progress visibility, no prediction, no
+// speculation. Each key has a home (master) node; commit runs
+//   Phase 1  Prepare at every written key's home node: validate the read
+//            version and take a no-wait write lock (conflict => vote no).
+//   Phase 2  Commit: apply at the home node, then synchronously replicate
+//            to a majority of the other data centers before acking; or
+//            Abort: release locks.
+// Reads are served by the local DC replica (read committed), matching the
+// MDCC stack so that the comparison isolates commit processing.
+#ifndef PLANET_BASELINE_TPC_H_
+#define PLANET_BASELINE_TPC_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/node.h"
+#include "storage/store.h"
+
+namespace planet {
+
+/// Baseline configuration.
+struct TpcConfig {
+  int num_dcs = 5;
+  Duration txn_timeout = Seconds(30);
+  /// Master placement, like MdccConfig: -1 hashes keys across DCs.
+  int master_dc = -1;
+
+  DcId MasterOf(Key key) const {
+    return master_dc >= 0 ? master_dc
+                          : static_cast<DcId>(key % static_cast<Key>(num_dcs));
+  }
+  /// Synchronous replication degree: majority of DCs (including the master).
+  int ReplicationQuorum() const { return num_dcs / 2 + 1; }
+};
+
+/// Participant + replica node of the 2PC baseline.
+class TpcNode : public Node {
+ public:
+  TpcNode(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
+          const TpcConfig& config);
+
+  void SetPeers(std::vector<TpcNode*> peers);
+
+  Store& store() { return store_; }
+  const Store& store() const { return store_; }
+
+  /// Phase 1 at the key's home node.
+  void HandlePrepare(TxnId txn, Key key, Version read_version,
+                     std::function<void(bool)> reply);
+
+  /// Phase 2 commit at the key's home node: applies, then replies once a
+  /// majority of DCs (including this one) hold the update.
+  void HandleCommit(TxnId txn, const WriteOption& option,
+                    std::function<void()> reply);
+
+  /// Phase 2 abort at the key's home node: releases the lock.
+  void HandleAbort(TxnId txn, Key key);
+
+  /// Replication apply at a non-home replica (version ordered).
+  void HandleReplicate(const WriteOption& option,
+                       std::function<void()> ack);
+
+  /// Local read-committed read.
+  void HandleRead(Key key, std::function<void(RecordView)> reply);
+
+  size_t LockedKeys() const { return locks_.size(); }
+
+ private:
+  void ApplyOrdered(const WriteOption& option);
+  void DrainDeferred(Key key);
+
+  TpcConfig config_;
+  Store store_;
+  std::vector<TpcNode*> peers_;
+  std::unordered_map<Key, TxnId> locks_;
+  std::unordered_map<Key, std::map<Version, WriteOption>> deferred_;
+};
+
+/// Client-side 2PC coordinator. API mirrors the MDCC Client.
+class TpcClient : public Node {
+ public:
+  using ReadCallback = std::function<void(Status, RecordView)>;
+  using CommitCallback = std::function<void(Status)>;
+
+  TpcClient(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
+            const TpcConfig& config, std::vector<TpcNode*> nodes);
+
+  TxnId Begin();
+  void Read(TxnId txn, Key key, ReadCallback cb);
+  Status Write(TxnId txn, Key key, Value value);
+  void Commit(TxnId txn, CommitCallback cb);
+
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+
+ private:
+  enum class Phase { kExecuting, kPreparing, kCommitting, kDone };
+  struct TxnState {
+    TxnId id = kInvalidTxnId;
+    Phase phase = Phase::kExecuting;
+    std::unordered_map<Key, Version> read_versions;
+    std::unordered_map<Key, WriteOption> writes;
+    CommitCallback cb;
+    EventId timeout_event = kInvalidEventId;
+    int votes_pending = 0;
+    bool vote_failed = false;
+    std::vector<Key> prepared;  ///< keys that voted yes (locks to release)
+    int acks_pending = 0;
+  };
+
+  TxnState* Find(TxnId txn);
+  void OnVote(TxnId txn, Key key, bool yes);
+  void StartPhase2(TxnState& state, bool commit, Status outcome);
+  void OnCommitAck(TxnId txn);
+  void Finish(TxnState& state, Status outcome);
+
+  TpcConfig config_;
+  std::vector<TpcNode*> nodes_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  uint64_t next_local_txn_ = 1;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_BASELINE_TPC_H_

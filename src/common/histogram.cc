@@ -1,0 +1,143 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace planet {
+namespace {
+
+// Geometric bucket upper bounds: bucket 0 holds value 0, bucket i holds
+// (upper[i-1], upper[i]]. Growth factor chosen so bucket 511 tops out around
+// 72 simulated minutes, giving ~4.5% relative resolution.
+const std::array<int64_t, Histogram::kNumBuckets>& UpperBounds() {
+  static const std::array<int64_t, Histogram::kNumBuckets> bounds = [] {
+    std::array<int64_t, Histogram::kNumBuckets> b{};
+    const double growth =
+        std::exp(std::log(4.3e9) / (Histogram::kNumBuckets - 1));
+    double edge = 1.0;
+    b[0] = 0;
+    for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+      edge *= growth;
+      int64_t e = static_cast<int64_t>(std::ceil(edge));
+      if (e <= b[i - 1]) e = b[i - 1] + 1;  // ensure strictly increasing
+      b[i] = e;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+Histogram::Histogram()
+    : count_(0), min_(0), max_(0), sum_(0.0), buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value_us) {
+  const auto& bounds = UpperBounds();
+  if (value_us <= 0) return 0;
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), value_us);
+  if (it == bounds.end()) return kNumBuckets - 1;
+  return static_cast<int>(it - bounds.begin());
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  return UpperBounds()[static_cast<size_t>(bucket)];
+}
+
+void Histogram::Record(int64_t value_us) {
+  if (value_us < 0) value_us = 0;
+  if (count_ == 0) {
+    min_ = max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value_us);
+  ++buckets_[static_cast<size_t>(BucketFor(value_us))];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+int64_t Histogram::max() const { return count_ == 0 ? 0 : max_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the target sample (1-based), at least 1.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * count_));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      int64_t upper = BucketUpperBound(i);
+      return std::min(upper, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::CdfAt(int64_t value_us) const {
+  if (count_ == 0) return 1.0;
+  if (value_us < 0) return 0.0;
+  int bucket = BucketFor(value_us);
+  uint64_t seen = 0;
+  // Buckets strictly below `bucket` are definitely <= value.
+  for (int i = 0; i < bucket; ++i) seen += buckets_[i];
+  // The containing bucket may straddle value; attribute it proportionally
+  // (linear interpolation within the bucket).
+  int64_t lo = bucket == 0 ? 0 : BucketUpperBound(bucket - 1);
+  int64_t hi = BucketUpperBound(bucket);
+  double frac = hi > lo
+                    ? static_cast<double>(value_us - lo) /
+                          static_cast<double>(hi - lo)
+                    : 1.0;
+  if (frac > 1.0) frac = 1.0;
+  if (frac < 0.0) frac = 0.0;
+  seen += static_cast<uint64_t>(frac * buckets_[bucket]);
+  double cdf = static_cast<double>(seen) / static_cast<double>(count_);
+  return std::min(1.0, std::max(0.0, cdf));
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.0fus p50=%lldus p95=%lldus p99=%lldus "
+                "max=%lldus",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<long long>(Percentile(50)),
+                static_cast<long long>(Percentile(95)),
+                static_cast<long long>(Percentile(99)),
+                static_cast<long long>(max()));
+  return buf;
+}
+
+}  // namespace planet

@@ -1,0 +1,89 @@
+// Log-bucketed latency histogram with percentile queries, plus a simple EWMA.
+//
+// The histogram is the workhorse of both the metrics pipeline and the PLANET
+// latency predictor: it records microsecond durations into exponentially
+// sized buckets (~4.6% relative resolution) and answers
+// percentile / mean / CDF / tail-probability queries in O(#buckets).
+#ifndef PLANET_COMMON_HISTOGRAM_H_
+#define PLANET_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace planet {
+
+/// Latency histogram over [0, ~72 minutes] in microseconds.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample (negative samples are clamped to 0).
+  void Record(int64_t value_us);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Removes all samples.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const;
+  double Mean() const;
+
+  /// Value at percentile p in [0, 100]. Returns 0 for an empty histogram.
+  /// Result is the upper bound of the bucket containing the p-th sample,
+  /// i.e. accurate to the bucket resolution (~4.6%).
+  int64_t Percentile(double p) const;
+
+  /// P(sample <= value_us). Returns 1.0 for an empty histogram (vacuous).
+  double CdfAt(int64_t value_us) const;
+
+  /// P(sample > value_us) — the tail used by the commit-likelihood latency
+  /// model. Returns 0.0 for an empty histogram.
+  double TailAt(int64_t value_us) const { return 1.0 - CdfAt(value_us); }
+
+  /// "p50=... p95=... p99=... max=..." convenience for logs and tables.
+  std::string Summary() const;
+
+  /// Number of internal buckets (exposed for tests).
+  static constexpr int kNumBuckets = 512;
+
+ private:
+  static int BucketFor(int64_t value_us);
+  static int64_t BucketUpperBound(int bucket);
+
+  uint64_t count_;
+  int64_t min_;
+  int64_t max_;
+  double sum_;
+  std::vector<uint64_t> buckets_;
+};
+
+/// Exponentially weighted moving average over a probability or rate.
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of each new observation.
+  explicit Ewma(double alpha, double initial = 0.0)
+      : alpha_(alpha), value_(initial), observations_(0) {}
+
+  void Observe(double x) {
+    value_ = observations_ == 0 ? x : alpha_ * x + (1.0 - alpha_) * value_;
+    ++observations_;
+  }
+
+  double value() const { return value_; }
+  uint64_t observations() const { return observations_; }
+
+ private:
+  double alpha_;
+  double value_;
+  uint64_t observations_;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_COMMON_HISTOGRAM_H_

@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace planet {
+
+std::string FormatSimTime(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64 "s", t / 1000000,
+                t % 1000000);
+  return buf;
+}
+
+namespace logging {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::function<SimTime()> g_time_source;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetLevel(LogLevel level) { g_level = level; }
+LogLevel GetLevel() { return g_level; }
+
+void SetTimeSource(std::function<SimTime()> source) {
+  g_time_source = std::move(source);
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::string stamp = g_time_source ? FormatSimTime(g_time_source()) : "--";
+  std::fprintf(stderr, "[%s %s %s:%d] %s\n", LevelName(level), stamp.c_str(),
+               Basename(file), line, msg.c_str());
+}
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "[CHECK %s:%d] invariant violated: %s %s\n",
+               Basename(file), line, expr, msg.c_str());
+  std::abort();
+}
+
+}  // namespace logging
+}  // namespace planet

@@ -1,0 +1,81 @@
+// Deterministic random number generation and the distributions used by the
+// simulator and workloads. Not std::mt19937-based so that streams are cheap
+// to fork and bit-identical across platforms.
+#ifndef PLANET_COMMON_RNG_H_
+#define PLANET_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace planet {
+
+/// xoshiro256** PRNG seeded via splitmix64. Deterministic and forkable:
+/// `Fork(tag)` derives an independent stream, used to give every node its own
+/// stream from a single experiment seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  /// Lognormal such that the *median* of samples is `median` and sigma is the
+  /// shape parameter of the underlying normal. Used for WAN jitter.
+  double Lognormal(double median, double sigma);
+
+  /// Derives an independent deterministic stream.
+  Rng Fork(uint64_t tag) const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) with parameter theta (0 = uniform,
+/// typical YCSB theta = 0.99). Uses the Gray et al. method: O(1) per sample
+/// after O(1) setup (approximate zeta via closed form for large n).
+class ZipfGenerator {
+ public:
+  /// Requires n >= 1 and theta in [0, 1) U (1, ...); theta == 1 is
+  /// approximated by 0.9999 to keep the closed form defined.
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Next sample in [0, n). Rank 0 is the most popular item.
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_COMMON_RNG_H_

@@ -1,0 +1,42 @@
+// Fixed-width table printer used by every bench binary to emit the rows and
+// series each experiment regenerates, in both human-readable and CSV form.
+#ifndef PLANET_COMMON_TABLE_H_
+#define PLANET_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace planet {
+
+/// Accumulates rows of string cells and renders them aligned; `ToCsv` gives
+/// the same content as comma-separated values for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formatting helpers for cells.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtInt(long long v);
+  static std::string FmtPct(double fraction, int precision = 1);
+  static std::string FmtUs(long long us);  // "1.234ms" / "890us" / "2.10s"
+
+  /// Renders with aligned columns and a separator under the header.
+  std::string ToString() const;
+  std::string ToCsv() const;
+
+  /// Prints ToString() (and optionally CSV) to stdout with a title banner.
+  void Print(const std::string& title, bool with_csv = false) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_COMMON_TABLE_H_

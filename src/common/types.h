@@ -1,0 +1,54 @@
+// Core scalar types shared by every PLANET module.
+#ifndef PLANET_COMMON_TYPES_H_
+#define PLANET_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace planet {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+/// Duration in simulated microseconds.
+using Duration = int64_t;
+
+/// Identifier of a data center (0-based).
+using DcId = int32_t;
+
+/// Identifier of a simulated node (replica, master, client); unique cluster-wide.
+using NodeId = int32_t;
+
+/// Identifier of a transaction; unique cluster-wide.
+using TxnId = uint64_t;
+
+/// Key of a record in the store.
+using Key = uint64_t;
+
+/// Value stored in a record. Records hold integer payloads; the commit
+/// protocol never inspects values, so this loses no generality.
+using Value = int64_t;
+
+/// Monotonically increasing version of a committed record.
+using Version = uint64_t;
+
+/// Paxos ballot number. Encodes (round, proposer) as round * kBallotStride +
+/// proposer so that ballots from distinct proposers never collide.
+using Ballot = int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+inline constexpr TxnId kInvalidTxnId = 0;
+inline constexpr NodeId kInvalidNodeId = -1;
+
+/// Convenience literal helpers (simulated time units).
+constexpr Duration Micros(int64_t n) { return n; }
+constexpr Duration Millis(int64_t n) { return n * 1000; }
+constexpr Duration Seconds(int64_t n) { return n * 1000 * 1000; }
+
+/// Formats a simulated timestamp as "12.345678s" for logs.
+std::string FormatSimTime(SimTime t);
+
+}  // namespace planet
+
+#endif  // PLANET_COMMON_TYPES_H_

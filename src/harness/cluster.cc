@@ -1,0 +1,120 @@
+#include "harness/cluster.h"
+
+#include "common/logging.h"
+
+namespace planet {
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options) {
+  PLANET_CHECK_MSG(options_.wan.num_dcs() == options_.mdcc.num_dcs,
+                   "WAN preset has " << options_.wan.num_dcs()
+                                     << " DCs, config wants "
+                                     << options_.mdcc.num_dcs);
+  Rng root(options_.seed);
+  net_ = std::make_unique<Network>(&sim_, root.Fork(1));
+  ApplyWan(net_.get(), options_.wan);
+
+  int n = options_.mdcc.num_dcs;
+  NodeId next_id = 0;
+  for (DcId dc = 0; dc < n; ++dc) {
+    replicas_.push_back(std::make_unique<Replica>(
+        &sim_, net_.get(), next_id++, dc, root.Fork(100 + dc),
+        options_.mdcc));
+  }
+  std::vector<Replica*> peer_ptrs;
+  for (auto& r : replicas_) peer_ptrs.push_back(r.get());
+  for (auto& r : replicas_) {
+    r->SetPeers(peer_ptrs);
+    if (options_.recovery_period > 0) {
+      r->EnableRecovery(options_.recovery_period);
+    }
+  }
+
+  ctx_ = std::make_unique<PlanetContext>(options_.mdcc, options_.planet);
+  int total_clients = options_.clients_per_dc * n;
+  for (int i = 0; i < total_clients; ++i) {
+    DcId dc = static_cast<DcId>(i % n);
+    clients_.push_back(std::make_unique<Client>(
+        &sim_, net_.get(), next_id++, dc, root.Fork(1000 + i), options_.mdcc,
+        peer_ptrs));
+    planet_clients_.push_back(
+        std::make_unique<PlanetClient>(clients_.back().get(), ctx_.get()));
+  }
+}
+
+void Cluster::SeedKey(Key key, Value value) {
+  for (auto& r : replicas_) r->store().SeedValue(key, value);
+}
+
+void Cluster::SeedBounds(Key key, ValueBounds bounds) {
+  for (auto& r : replicas_) r->store().SetBounds(key, bounds);
+}
+
+void Cluster::PartitionDc(DcId dc) {
+  for (DcId other = 0; other < options_.mdcc.num_dcs; ++other) {
+    if (other != dc) net_->SetPartitioned(dc, other, true);
+  }
+}
+
+void Cluster::HealDc(DcId dc) {
+  for (DcId other = 0; other < options_.mdcc.num_dcs; ++other) {
+    if (other != dc) net_->SetPartitioned(dc, other, false);
+  }
+  replicas_[static_cast<size_t>(dc)]->RequestSyncAll();
+}
+
+size_t Cluster::TotalPending() const {
+  size_t total = 0;
+  for (const auto& r : replicas_) total += r->store().TotalPending();
+  return total;
+}
+
+bool Cluster::ReplicasConverged() const {
+  if (TotalPending() != 0) return false;
+  for (const auto& r : replicas_) {
+    if (r->DeferredCount() != 0) return false;
+  }
+  auto reference = replicas_.front()->store().Snapshot();
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    if (replicas_[i]->store().Snapshot() != reference) return false;
+  }
+  return true;
+}
+
+TpcCluster::TpcCluster(const TpcClusterOptions& options) : options_(options) {
+  PLANET_CHECK(options_.wan.num_dcs() == options_.tpc.num_dcs);
+  Rng root(options_.seed);
+  net_ = std::make_unique<Network>(&sim_, root.Fork(1));
+  ApplyWan(net_.get(), options_.wan);
+
+  int n = options_.tpc.num_dcs;
+  NodeId next_id = 0;
+  for (DcId dc = 0; dc < n; ++dc) {
+    nodes_.push_back(std::make_unique<TpcNode>(
+        &sim_, net_.get(), next_id++, dc, root.Fork(100 + dc), options_.tpc));
+  }
+  std::vector<TpcNode*> peer_ptrs;
+  for (auto& node : nodes_) peer_ptrs.push_back(node.get());
+  for (auto& node : nodes_) node->SetPeers(peer_ptrs);
+
+  int total_clients = options_.clients_per_dc * n;
+  for (int i = 0; i < total_clients; ++i) {
+    DcId dc = static_cast<DcId>(i % n);
+    clients_.push_back(std::make_unique<TpcClient>(
+        &sim_, net_.get(), next_id++, dc, root.Fork(1000 + i), options_.tpc,
+        peer_ptrs));
+  }
+}
+
+void TpcCluster::SeedKey(Key key, Value value) {
+  for (auto& node : nodes_) node->store().SeedValue(key, value);
+}
+
+bool TpcCluster::ReplicasConverged() const {
+  auto reference = nodes_.front()->store().Snapshot();
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i]->store().Snapshot() != reference) return false;
+  }
+  return true;
+}
+
+}  // namespace planet

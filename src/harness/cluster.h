@@ -1,0 +1,116 @@
+// Cluster builders: assemble a full simulated deployment (simulator,
+// WAN, replicas, coordinators, PLANET layer) from one options struct.
+#ifndef PLANET_HARNESS_CLUSTER_H_
+#define PLANET_HARNESS_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "baseline/tpc.h"
+#include "harness/wan.h"
+#include "mdcc/client.h"
+#include "mdcc/replica.h"
+#include "planet/client.h"
+#include "sim/simulator.h"
+
+namespace planet {
+
+/// Options of an MDCC/PLANET cluster.
+struct ClusterOptions {
+  uint64_t seed = 42;
+  MdccConfig mdcc;
+  PlanetConfig planet;
+  WanPreset wan = FiveDcWan();
+  int clients_per_dc = 1;
+  /// Pending-option resolution period (heals partitioned replicas);
+  /// 0 disables the recovery protocol.
+  Duration recovery_period = Seconds(10);
+};
+
+/// A fully wired MDCC + PLANET deployment. Clients are laid out round-robin:
+/// client index i lives in DC (i % num_dcs).
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  PlanetContext& context() { return *ctx_; }
+  const ClusterOptions& options() const { return options_; }
+
+  int num_dcs() const { return options_.mdcc.num_dcs; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  Replica* replica(DcId dc) { return replicas_[static_cast<size_t>(dc)].get(); }
+  Client* client(int i) { return clients_[static_cast<size_t>(i)].get(); }
+  PlanetClient* planet_client(int i) {
+    return planet_clients_[static_cast<size_t>(i)].get();
+  }
+
+  /// Seeds a committed value on every replica (identical, pre-traffic).
+  void SeedKey(Key key, Value value);
+  void SeedBounds(Key key, ValueBounds bounds);
+
+  /// Cuts one DC off from every other DC (its clients keep local access).
+  void PartitionDc(DcId dc);
+
+  /// Reconnects the DC and triggers an anti-entropy sync on its replica
+  /// (the ops runbook step after a partition heals).
+  void HealDc(DcId dc);
+
+  /// Runs the simulation until the event queue is empty.
+  void Drain() { sim_.Run(); }
+
+  /// True iff every replica holds the identical committed state and no
+  /// pending or deferred options remain (the atomicity/convergence audit).
+  bool ReplicasConverged() const;
+  size_t TotalPending() const;
+
+  /// Fresh deterministic RNG stream for workload use.
+  Rng ForkRng(uint64_t tag) const { return Rng(options_.seed).Fork(tag); }
+
+ private:
+  ClusterOptions options_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<PlanetContext> ctx_;
+  std::vector<std::unique_ptr<PlanetClient>> planet_clients_;
+};
+
+/// Options of a 2PC baseline cluster.
+struct TpcClusterOptions {
+  uint64_t seed = 42;
+  TpcConfig tpc;
+  WanPreset wan = FiveDcWan();
+  int clients_per_dc = 1;
+};
+
+/// A fully wired 2PC deployment (same WAN, same layout).
+class TpcCluster {
+ public:
+  explicit TpcCluster(const TpcClusterOptions& options);
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  TpcNode* node(DcId dc) { return nodes_[static_cast<size_t>(dc)].get(); }
+  TpcClient* client(int i) { return clients_[static_cast<size_t>(i)].get(); }
+
+  void SeedKey(Key key, Value value);
+  void Drain() { sim_.Run(); }
+  bool ReplicasConverged() const;
+
+  Rng ForkRng(uint64_t tag) const { return Rng(options_.seed).Fork(tag); }
+
+ private:
+  TpcClusterOptions options_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<TpcNode>> nodes_;
+  std::vector<std::unique_ptr<TpcClient>> clients_;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_HARNESS_CLUSTER_H_

@@ -1,0 +1,60 @@
+// Driver-level metric aggregation shared by every experiment binary.
+#ifndef PLANET_HARNESS_METRICS_H_
+#define PLANET_HARNESS_METRICS_H_
+
+#include <functional>
+
+#include "common/histogram.h"
+#include "workload/workload.h"
+
+namespace planet {
+
+/// Aggregates TxnResults from any stack's load generators.
+struct RunMetrics {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;      ///< conflict aborts
+  uint64_t unavailable = 0;  ///< timeouts / partitions
+  uint64_t rejected = 0;     ///< admission control
+  uint64_t speculative_notifications = 0;
+
+  Histogram latency_committed;  ///< begin -> definitive commit
+  Histogram latency_all;        ///< begin -> definitive outcome (any)
+  Histogram user_latency;       ///< begin -> first user notification
+
+  void Record(const TxnResult& result) {
+    if (result.status.ok()) {
+      ++committed;
+      latency_committed.Record(result.latency);
+    } else if (result.status.IsRejected()) {
+      ++rejected;
+    } else if (result.status.IsUnavailable()) {
+      ++unavailable;
+    } else {
+      ++aborted;
+    }
+    latency_all.Record(result.latency);
+    user_latency.Record(result.user_latency);
+    if (result.speculative) ++speculative_notifications;
+  }
+
+  /// A sink suitable for LoadGenerator::SetResultSink.
+  std::function<void(const TxnResult&)> Sink() {
+    return [this](const TxnResult& r) { Record(r); };
+  }
+
+  uint64_t finished() const {
+    return committed + aborted + unavailable + rejected;
+  }
+  uint64_t attempted() const { return committed + aborted + unavailable; }
+  double CommitRate() const {
+    return attempted() == 0 ? 0.0 : double(committed) / double(attempted());
+  }
+  /// Committed transactions per simulated second.
+  double Goodput(Duration run_time) const {
+    return run_time == 0 ? 0.0 : double(committed) * 1e6 / double(run_time);
+  }
+};
+
+}  // namespace planet
+
+#endif  // PLANET_HARNESS_METRICS_H_

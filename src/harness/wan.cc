@@ -1,0 +1,58 @@
+#include "harness/wan.h"
+
+#include "common/logging.h"
+
+namespace planet {
+
+WanPreset FiveDcWan() {
+  WanPreset preset;
+  preset.dc_names = {"us-west", "us-east", "eu-ireland", "ap-singapore",
+                     "ap-tokyo"};
+  // One-way medians (ms), symmetric; diagonal unused (intra handled apart).
+  preset.one_way_ms = {
+      // US-W  US-E   EU     SG     JP
+      {0.0, 36.0, 70.0, 88.0, 52.0},   // us-west
+      {36.0, 0.0, 40.0, 110.0, 75.0},  // us-east
+      {70.0, 40.0, 0.0, 120.0, 115.0}, // eu-ireland
+      {88.0, 110.0, 120.0, 0.0, 35.0}, // ap-singapore
+      {52.0, 75.0, 115.0, 35.0, 0.0},  // ap-tokyo
+  };
+  return preset;
+}
+
+WanPreset UniformWan(int n, double ms) {
+  PLANET_CHECK(n >= 1);
+  WanPreset preset;
+  for (int i = 0; i < n; ++i) preset.dc_names.push_back("dc-" + std::to_string(i));
+  preset.one_way_ms.assign(static_cast<size_t>(n),
+                           std::vector<double>(static_cast<size_t>(n), ms));
+  for (int i = 0; i < n; ++i) preset.one_way_ms[static_cast<size_t>(i)]
+                                               [static_cast<size_t>(i)] = 0.0;
+  return preset;
+}
+
+void ApplyWan(Network* net, const WanPreset& preset) {
+  int n = preset.num_dcs();
+  for (int a = 0; a < n; ++a) {
+    // Intra-DC link.
+    LinkParams intra;
+    intra.median_one_way =
+        static_cast<Duration>(preset.intra_dc_ms * 1000.0);
+    intra.sigma = preset.intra_sigma;
+    intra.min_latency = Micros(20);
+    intra.loss_prob = 0.0;
+    net->SetLink(a, a, intra);
+    for (int b = a + 1; b < n; ++b) {
+      LinkParams link;
+      link.median_one_way = static_cast<Duration>(
+          preset.one_way_ms[static_cast<size_t>(a)][static_cast<size_t>(b)] *
+          1000.0);
+      link.sigma = preset.sigma;
+      link.min_latency = link.median_one_way / 2;
+      link.loss_prob = preset.loss_prob;
+      net->SetLink(a, b, link);
+    }
+  }
+}
+
+}  // namespace planet

@@ -1,0 +1,38 @@
+// Wide-area latency presets: the emulated five-data-center environment.
+#ifndef PLANET_HARNESS_WAN_H_
+#define PLANET_HARNESS_WAN_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace planet {
+
+/// A symmetric DC-to-DC one-way latency matrix plus jitter/loss defaults.
+struct WanPreset {
+  std::vector<std::string> dc_names;
+  /// One-way median latency in milliseconds, indexed [from][to].
+  std::vector<std::vector<double>> one_way_ms;
+  double sigma = 0.08;       ///< lognormal jitter shape on WAN links
+  double loss_prob = 0.002;  ///< retransmission probability on WAN links
+  double intra_dc_ms = 0.25; ///< one-way within a DC
+  double intra_sigma = 0.05;
+
+  int num_dcs() const { return static_cast<int>(dc_names.size()); }
+};
+
+/// The evaluation environment of the paper: five geo-distributed data
+/// centers (US-West, US-East, Ireland, Singapore, Tokyo) with realistic
+/// public-cloud one-way latencies.
+WanPreset FiveDcWan();
+
+/// N data centers all `ms` apart (controlled experiments).
+WanPreset UniformWan(int n, double ms);
+
+/// Applies a preset to a network (links for every DC pair + intra-DC).
+void ApplyWan(Network* net, const WanPreset& preset);
+
+}  // namespace planet
+
+#endif  // PLANET_HARNESS_WAN_H_

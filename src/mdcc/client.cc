@@ -1,0 +1,401 @@
+#include "mdcc/client.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace planet {
+
+const char* TxnPhaseName(TxnPhase phase) {
+  switch (phase) {
+    case TxnPhase::kExecuting:
+      return "executing";
+    case TxnPhase::kProposing:
+      return "proposing";
+    case TxnPhase::kClassic:
+      return "classic";
+    case TxnPhase::kCommitted:
+      return "committed";
+    case TxnPhase::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+Client::Client(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
+               const MdccConfig& config, std::vector<Replica*> replicas)
+    : Node(sim, net, id, dc, rng),
+      config_(config),
+      replicas_(std::move(replicas)) {
+  PLANET_CHECK(static_cast<int>(replicas_.size()) == config_.num_dcs);
+}
+
+TxnId Client::Begin() {
+  TxnId txn = (static_cast<TxnId>(id_) << 40) | next_local_txn_++;
+  TxnState& state = txns_[txn];
+  state.view.id = txn;
+  state.view.phase = TxnPhase::kExecuting;
+  state.view.begin_time = Now();
+  return txn;
+}
+
+Client::TxnState* Client::Find(TxnId txn) {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+OptionProgress* Client::FindOption(TxnState& state, Key key) {
+  for (OptionProgress& op : state.view.options) {
+    if (op.option.key == key) return &op;
+  }
+  return nullptr;
+}
+
+void Client::Read(TxnId txn, Key key, ReadCallback cb) {
+  TxnState* state = Find(txn);
+  PLANET_CHECK_MSG(state != nullptr, "read on unknown txn " << txn);
+  PLANET_CHECK(state->view.phase == TxnPhase::kExecuting);
+
+  // Read-your-writes: a buffered physical write is served from the write
+  // buffer without a network round trip (its read version is already
+  // pinned by the earlier read).
+  auto buffered = state->writes.find(key);
+  if (buffered != state->writes.end() &&
+      buffered->second.kind == OptionKind::kPhysical) {
+    RecordView view{state->read_versions[key], buffered->second.new_value};
+    sim_->Schedule(0, [cb = std::move(cb), view] { cb(Status::OK(), view); });
+    return;
+  }
+
+  Replica* replica = local_replica();
+  NodeId replica_id = replica->id();
+  net_->Send(id_, replica_id, [this, replica, replica_id, txn, key,
+                               cb = std::move(cb)] {
+    replica->HandleRead(
+        key, id_, [this, replica_id, txn, key, cb](RecordView view) {
+          net_->Send(replica_id, id_, [this, txn, key, cb, view]() mutable {
+            TxnState* state = Find(txn);
+            if (state != nullptr && !state->done &&
+                state->view.phase == TxnPhase::kExecuting) {
+              state->read_versions[key] = view.version;
+              // Read-your-writes for buffered commutative deltas.
+              auto w = state->writes.find(key);
+              if (w != state->writes.end() &&
+                  w->second.kind == OptionKind::kCommutative) {
+                view.value += w->second.delta;
+              }
+            }
+            cb(Status::OK(), view);
+          });
+        });
+  });
+}
+
+Status Client::Write(TxnId txn, Key key, Value value) {
+  TxnState* state = Find(txn);
+  if (state == nullptr || state->view.phase != TxnPhase::kExecuting) {
+    return Status::InvalidArgument("txn not executing");
+  }
+  auto rv = state->read_versions.find(key);
+  if (rv == state->read_versions.end()) {
+    return Status::FailedPrecondition("write requires a prior read (RMW)");
+  }
+  auto existing = state->writes.find(key);
+  if (existing != state->writes.end() &&
+      existing->second.kind == OptionKind::kCommutative) {
+    return Status::InvalidArgument("key already has a commutative write");
+  }
+  WriteOption option;
+  option.txn = txn;
+  option.key = key;
+  option.kind = OptionKind::kPhysical;
+  option.read_version = rv->second;
+  option.new_value = value;
+  state->writes[key] = option;
+  return Status::OK();
+}
+
+Status Client::Add(TxnId txn, Key key, Value delta) {
+  TxnState* state = Find(txn);
+  if (state == nullptr || state->view.phase != TxnPhase::kExecuting) {
+    return Status::InvalidArgument("txn not executing");
+  }
+  auto existing = state->writes.find(key);
+  if (existing != state->writes.end()) {
+    if (existing->second.kind != OptionKind::kCommutative) {
+      return Status::InvalidArgument("key already has a physical write");
+    }
+    existing->second.delta += delta;
+    return Status::OK();
+  }
+  WriteOption option;
+  option.txn = txn;
+  option.key = key;
+  option.kind = OptionKind::kCommutative;
+  option.delta = delta;
+  state->writes[key] = option;
+  return Status::OK();
+}
+
+void Client::Commit(TxnId txn, CommitCallback cb) {
+  TxnState* state = Find(txn);
+  PLANET_CHECK_MSG(state != nullptr, "commit on unknown txn " << txn);
+  PLANET_CHECK(state->view.phase == TxnPhase::kExecuting);
+  state->commit_cb = std::move(cb);
+  state->view.propose_time = Now();
+
+  if (state->writes.empty()) {
+    // Read-only: read committed needs no coordination.
+    Decide(*state, true, Status::OK());
+    return;
+  }
+  ProposeFast(*state);
+}
+
+void Client::AbortEarly(TxnId txn) {
+  TxnState* state = Find(txn);
+  if (state == nullptr) return;
+  PLANET_CHECK(state->view.phase == TxnPhase::kExecuting);
+  txns_.erase(txn);
+}
+
+void Client::ProposeFast(TxnState& state) {
+  TxnId txn = state.view.id;
+  for (const auto& [key, option] : state.writes) {
+    OptionProgress op;
+    op.option = option;
+    op.votes.assign(static_cast<size_t>(config_.num_dcs), -1);
+    op.proposed_at = Now();
+    state.view.options.push_back(std::move(op));
+  }
+  SetPhase(state, TxnPhase::kProposing);
+  state.timeout_event =
+      sim_->Schedule(config_.txn_timeout, [this, txn] { OnTimeout(txn); });
+
+  if (config_.force_classic) {
+    PLANET_CHECK_MSG(config_.enable_classic,
+                     "force_classic requires enable_classic");
+    for (OptionProgress& op : state.view.options) StartClassic(state, op);
+    return;
+  }
+
+  for (const OptionProgress& op : state.view.options) {
+    const WriteOption option = op.option;
+    for (DcId d = 0; d < config_.num_dcs; ++d) {
+      Replica* replica = replicas_[static_cast<size_t>(d)];
+      NodeId replica_id = replica->id();
+      ++state.outstanding_replies;
+      SimTime sent = Now();
+      net_->Send(id_, replica_id, [this, replica, replica_id, option, d,
+                                   sent] {
+        replica->HandleFastAccept(
+            option, id_,
+            [this, replica_id, option, d, sent](VoteReply reply) {
+              net_->Send(replica_id, id_, [this, option, d, sent, reply] {
+                VoteEvent event;
+                event.txn = option.txn;
+                event.key = option.key;
+                event.replica_dc = d;
+                event.accepted = reply.accepted;
+                event.stale = reply.stale;
+                event.conflict = reply.conflict;
+                event.rtt = Now() - sent;
+                event.fast_path = true;
+                OnVoteEvent(event);
+              });
+            });
+      });
+    }
+  }
+}
+
+void Client::OnVoteEvent(const VoteEvent& event) {
+  if (global_vote_listener_) global_vote_listener_(event);
+  TxnState* state = Find(event.txn);
+  if (state == nullptr) return;
+  --state->outstanding_replies;
+  OptionProgress* op = FindOption(*state, event.key);
+  if (op != nullptr) {
+    op->votes[static_cast<size_t>(event.replica_dc)] = event.accepted ? 1 : 0;
+    if (event.accepted) {
+      ++op->accepts;
+    } else {
+      ++op->rejects;
+    }
+    if (state->observer.on_vote) state->observer.on_vote(event);
+    if (!op->decided && !op->classic_inflight) {
+      if (op->accepts >= config_.FastQuorum()) {
+        OnOptionDecided(*state, *op, /*chosen=*/true, /*via_classic=*/false);
+      } else if (op->rejects > config_.num_dcs - config_.FastQuorum()) {
+        // Fast quorum unreachable.
+        if (config_.enable_classic) {
+          StartClassic(*state, *op);
+        } else {
+          OnOptionDecided(*state, *op, /*chosen=*/false,
+                          /*via_classic=*/false);
+        }
+      }
+    }
+  }
+  MaybeGc(event.txn);
+}
+
+void Client::StartClassic(TxnState& state, OptionProgress& op) {
+  op.classic_inflight = true;
+  ++classic_fallbacks_;
+  if (state.view.classic_time == 0) state.view.classic_time = Now();
+  if (state.view.phase == TxnPhase::kProposing) {
+    SetPhase(state, TxnPhase::kClassic);
+  }
+  const WriteOption option = op.option;
+  DcId master_dc = config_.MasterOf(option.key);
+  Replica* master = replicas_[static_cast<size_t>(master_dc)];
+  NodeId master_id = master->id();
+  ++state.outstanding_replies;
+  SimTime sent = Now();
+  net_->Send(id_, master_id, [this, master, master_id, option, sent] {
+    master->HandleClassicPropose(
+        option, id_, [this, master_id, option, sent](bool chosen) {
+          net_->Send(master_id, id_, [this, option, chosen, sent] {
+            OnClassicResult(option.txn, option.key, chosen, Now() - sent);
+          });
+        });
+  });
+}
+
+void Client::OnClassicResult(TxnId txn, Key key, bool chosen, Duration rtt) {
+  (void)rtt;
+  TxnState* state = Find(txn);
+  if (state == nullptr) return;
+  --state->outstanding_replies;
+  OptionProgress* op = FindOption(*state, key);
+  if (op != nullptr && !op->decided) {
+    op->classic_inflight = false;
+    OnOptionDecided(*state, *op, chosen, /*via_classic=*/true);
+  }
+  MaybeGc(txn);
+}
+
+void Client::OnOptionDecided(TxnState& state, OptionProgress& op, bool chosen,
+                             bool via_classic) {
+  PLANET_CHECK(!op.decided);
+  op.decided = true;
+  op.chosen = chosen;
+  op.via_classic = via_classic;
+  ++state.options_decided;
+  if (global_option_listener_) {
+    global_option_listener_(op.option.key, chosen, via_classic);
+  }
+  if (state.observer.on_option_decided) {
+    state.observer.on_option_decided(op.option.key, chosen, via_classic);
+  }
+  if (state.done) return;
+  if (!chosen) {
+    Decide(state, false, Status::Aborted("option rejected"));
+  } else if (state.options_decided ==
+             static_cast<int>(state.view.options.size())) {
+    Decide(state, true, Status::OK());
+  }
+}
+
+void Client::OnTimeout(TxnId txn) {
+  TxnState* state = Find(txn);
+  if (state == nullptr || state->done) return;
+  state->timeout_event = kInvalidEventId;  // it just fired
+  Decide(*state, false, Status::Unavailable("transaction timeout"));
+}
+
+void Client::Decide(TxnState& state, bool commit, Status outcome) {
+  if (state.done) return;
+  state.done = true;
+  state.view.decide_time = Now();
+  state.view.outcome = outcome;
+  if (state.timeout_event != kInvalidEventId) {
+    sim_->Cancel(state.timeout_event);
+    state.timeout_event = kInvalidEventId;
+  }
+  if (commit) {
+    ++committed_;
+  } else if (outcome.IsUnavailable()) {
+    ++timed_out_;
+  } else {
+    ++aborted_;
+  }
+  SetPhase(state, commit ? TxnPhase::kCommitted : TxnPhase::kAborted);
+
+  // Visibility broadcast: every replica learns the decision for every option
+  // (including replicas that rejected or never voted).
+  if (!state.view.options.empty()) {
+    std::vector<WriteOption> options;
+    options.reserve(state.view.options.size());
+    for (const OptionProgress& op : state.view.options) {
+      options.push_back(op.option);
+    }
+    TxnId txn = state.view.id;
+    for (Replica* replica : replicas_) {
+      net_->Send(id_, replica->id(), [replica, txn, commit, options] {
+        replica->HandleVisibility(txn, commit, options);
+      });
+    }
+  }
+
+  // Fire the commit callback as its own event: avoids unbounded recursion
+  // when the callback immediately starts the next transaction.
+  TxnId txn = state.view.id;
+  sim_->Schedule(0, [this, txn, outcome] {
+    TxnState* st = Find(txn);
+    if (st == nullptr) return;
+    st->cb_fired = true;
+    CommitCallback cb = std::move(st->commit_cb);
+    if (cb) cb(outcome);
+    MaybeGc(txn);
+  });
+
+  // Backstop GC in case some votes never arrive (partitions).
+  sim_->Schedule(2 * config_.txn_timeout, [this, txn] { txns_.erase(txn); });
+}
+
+void Client::SetPhase(TxnState& state, TxnPhase phase) {
+  state.view.phase = phase;
+  if (state.observer.on_phase) state.observer.on_phase(phase);
+}
+
+void Client::MaybeGc(TxnId txn) {
+  TxnState* state = Find(txn);
+  if (state == nullptr) return;
+  if (state->done && state->cb_fired && state->outstanding_replies <= 0) {
+    txns_.erase(txn);
+  }
+}
+
+std::vector<WriteOption> Client::PendingWrites(TxnId txn) const {
+  std::vector<WriteOption> writes;
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return writes;
+  writes.reserve(it->second.writes.size());
+  for (const auto& [key, option] : it->second.writes) writes.push_back(option);
+  return writes;
+}
+
+const TxnView* Client::View(TxnId txn) const {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second.view;
+}
+
+void Client::SetObserver(TxnId txn, TxnObserver observer) {
+  TxnState* state = Find(txn);
+  PLANET_CHECK(state != nullptr);
+  state->observer = std::move(observer);
+}
+
+void Client::SetGlobalVoteListener(
+    std::function<void(const VoteEvent&)> listener) {
+  global_vote_listener_ = std::move(listener);
+}
+
+void Client::SetGlobalOptionListener(
+    std::function<void(Key, bool, bool)> listener) {
+  global_option_listener_ = std::move(listener);
+}
+
+}  // namespace planet

@@ -1,0 +1,188 @@
+// Client-side transaction coordinator for the MDCC-style commit stack.
+//
+// The coordinator lives in the client library (as in MDCC/PLANET): it
+// executes reads against the local data center's replica (read committed),
+// buffers writes, and at commit time proposes one option per written key to
+// the per-record Paxos instances — fast path first (direct to all replicas,
+// fast quorum), with a classic fallback through the key's master once the
+// fast quorum becomes unreachable. The transaction commits iff every option
+// is chosen; the decision is broadcast as a Visibility message.
+//
+// Observability: every vote, option decision and phase change is surfaced
+// through TxnObserver — this is the substrate for PLANET's progress
+// callbacks and commit-likelihood prediction. A global vote listener
+// additionally sees every vote (including votes that arrive after the
+// transaction has been decided), feeding the predictor's latency/conflict
+// models.
+#ifndef PLANET_MDCC_CLIENT_H_
+#define PLANET_MDCC_CLIENT_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "mdcc/config.h"
+#include "mdcc/replica.h"
+#include "sim/node.h"
+
+namespace planet {
+
+/// Commit phase of a transaction, exposed to applications via PLANET.
+enum class TxnPhase {
+  kExecuting,   ///< reads / buffered writes
+  kProposing,   ///< fast-path options in flight
+  kClassic,     ///< at least one option fell back to its master
+  kCommitted,   ///< decided commit, visibility broadcast
+  kAborted,     ///< decided abort, visibility broadcast
+};
+
+const char* TxnPhaseName(TxnPhase phase);
+
+/// One acceptor vote observed by the coordinator.
+struct VoteEvent {
+  TxnId txn = kInvalidTxnId;
+  Key key = 0;
+  DcId replica_dc = 0;
+  bool accepted = false;
+  bool stale = false;     ///< rejected: version mismatch / bounds / decided
+  bool conflict = false;  ///< rejected: pending option of another txn
+  Duration rtt = 0;       ///< coordinator-observed round trip
+  bool fast_path = true;
+};
+
+/// Coordinator-side progress of one option.
+struct OptionProgress {
+  WriteOption option;
+  std::vector<int8_t> votes;  ///< per DC: -1 unknown, 0 reject, 1 accept
+  int accepts = 0;
+  int rejects = 0;
+  bool decided = false;
+  bool chosen = false;
+  bool via_classic = false;
+  bool classic_inflight = false;
+  SimTime proposed_at = 0;
+};
+
+/// Full coordinator-side view of a transaction (used by the PLANET layer
+/// to compute commit likelihood).
+struct TxnView {
+  TxnId id = kInvalidTxnId;
+  TxnPhase phase = TxnPhase::kExecuting;
+  SimTime begin_time = 0;
+  SimTime propose_time = 0;
+  SimTime classic_time = 0;  ///< first classic fallback (0 if none)
+  SimTime decide_time = 0;
+  Status outcome;
+  std::vector<OptionProgress> options;
+};
+
+/// Hooks fired while a transaction is in flight.
+struct TxnObserver {
+  std::function<void(const VoteEvent&)> on_vote;
+  std::function<void(Key key, bool chosen, bool via_classic)> on_option_decided;
+  std::function<void(TxnPhase phase)> on_phase;
+};
+
+/// The client node. One per simulated application server; owns the
+/// coordinators of all transactions it begins. Not thread safe (simulated).
+class Client : public Node {
+ public:
+  using ReadCallback = std::function<void(Status, RecordView)>;
+  using CommitCallback = std::function<void(Status)>;
+
+  Client(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
+         const MdccConfig& config, std::vector<Replica*> replicas);
+
+  /// Starts a transaction.
+  TxnId Begin();
+
+  /// Asynchronous read-committed read from the local DC replica. Records the
+  /// observed version as the transaction's read version for `key`.
+  void Read(TxnId txn, Key key, ReadCallback cb);
+
+  /// Buffers a physical write. Requires a prior Read of `key` in this
+  /// transaction (read-modify-write); otherwise kFailedPrecondition.
+  Status Write(TxnId txn, Key key, Value value);
+
+  /// Buffers a commutative delta (no prior read required).
+  Status Add(TxnId txn, Key key, Value delta);
+
+  /// Starts commit processing; `cb` fires exactly once with the outcome:
+  /// OK, Aborted (conflict), or Unavailable (timeout / partition).
+  /// Read-only transactions commit immediately.
+  void Commit(TxnId txn, CommitCallback cb);
+
+  /// Drops an unsubmitted transaction.
+  void AbortEarly(TxnId txn);
+
+  /// Live view of a transaction; nullptr once it has been garbage collected
+  /// (shortly after its decision).
+  const TxnView* View(TxnId txn) const;
+
+  /// Writes buffered so far (pre-commit); used by admission control to
+  /// estimate a prior commit likelihood before any message is sent.
+  std::vector<WriteOption> PendingWrites(TxnId txn) const;
+
+  /// Installs per-transaction hooks (PLANET layer).
+  void SetObserver(TxnId txn, TxnObserver observer);
+
+  /// Sees every vote this client ever observes (predictor feed).
+  void SetGlobalVoteListener(std::function<void(const VoteEvent&)> listener);
+
+  /// Sees every option decision (predictor feed: option-level outcomes).
+  void SetGlobalOptionListener(
+      std::function<void(Key key, bool chosen, bool via_classic)> listener);
+
+  const MdccConfig& config() const { return config_; }
+  Replica* local_replica() const { return replicas_[static_cast<size_t>(dc_)]; }
+
+  /// Outcome counters.
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+  uint64_t timed_out() const { return timed_out_; }
+  uint64_t classic_fallbacks() const { return classic_fallbacks_; }
+
+ private:
+  struct TxnState {
+    TxnView view;
+    std::unordered_map<Key, Version> read_versions;
+    std::unordered_map<Key, WriteOption> writes;
+    CommitCallback commit_cb;
+    TxnObserver observer;
+    EventId timeout_event = kInvalidEventId;
+    int outstanding_replies = 0;
+    int options_decided = 0;
+    bool done = false;
+    bool cb_fired = false;
+  };
+
+  TxnState* Find(TxnId txn);
+  OptionProgress* FindOption(TxnState& state, Key key);
+
+  void ProposeFast(TxnState& state);
+  void StartClassic(TxnState& state, OptionProgress& op);
+  void OnVoteEvent(const VoteEvent& event);
+  void OnClassicResult(TxnId txn, Key key, bool chosen, Duration rtt);
+  void OnOptionDecided(TxnState& state, OptionProgress& op, bool chosen,
+                       bool via_classic);
+  void OnTimeout(TxnId txn);
+  void Decide(TxnState& state, bool commit, Status outcome);
+  void SetPhase(TxnState& state, TxnPhase phase);
+  void MaybeGc(TxnId txn);
+
+  MdccConfig config_;
+  std::vector<Replica*> replicas_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  std::function<void(const VoteEvent&)> global_vote_listener_;
+  std::function<void(Key, bool, bool)> global_option_listener_;
+  uint64_t next_local_txn_ = 1;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+  uint64_t timed_out_ = 0;
+  uint64_t classic_fallbacks_ = 0;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_MDCC_CLIENT_H_

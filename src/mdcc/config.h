@@ -1,0 +1,59 @@
+// Configuration of the MDCC-style geo-replicated commit stack.
+#ifndef PLANET_MDCC_CONFIG_H_
+#define PLANET_MDCC_CONFIG_H_
+
+#include "common/types.h"
+
+namespace planet {
+
+/// Protocol parameters. One replica per data center; records are fully
+/// replicated; each record has one master replica used by the classic path.
+struct MdccConfig {
+  /// Number of data centers / replicas (the paper evaluates 5).
+  int num_dcs = 5;
+
+  /// Whether the coordinator falls back to the classic (master-serialized)
+  /// path once the fast quorum becomes unreachable for an option.
+  bool enable_classic = true;
+
+  /// Skip the fast path entirely and propose through the per-record master
+  /// (measures the classic path in isolation; experiment F1).
+  bool force_classic = false;
+
+  /// Overall transaction deadline: if votes do not resolve by then the
+  /// coordinator decides Abort with kUnavailable (covers partitions).
+  Duration txn_timeout = Seconds(30);
+
+  /// How long the per-record master queues a classic proposal behind a
+  /// conflicting pending option before rejecting it. The queue is what makes
+  /// the classic path a serialization point under contention (as in MDCC);
+  /// the timeout breaks cross-key waiting chains (distributed deadlock).
+  /// 0 disables queueing (immediate reject on conflict).
+  Duration classic_queue_timeout = Millis(500);
+
+  /// Master placement: -1 hashes masters across DCs (key % num_dcs);
+  /// otherwise all keys are mastered in the given DC.
+  int master_dc = -1;
+
+  /// CPU time a replica spends per protocol message (accept / read /
+  /// visibility / master round). 0 models infinite capacity; > 0 makes
+  /// replicas saturable, reproducing load-spike latency unpredictability
+  /// (experiment F9).
+  Duration replica_service_cost = 0;
+
+  /// Fast quorum size: N - floor(N/4) (Fast Paxos), e.g. 4 of 5.
+  int FastQuorum() const { return num_dcs - num_dcs / 4; }
+
+  /// Classic quorum size: majority.
+  int ClassicQuorum() const { return num_dcs / 2 + 1; }
+
+  /// DC mastering the given key.
+  DcId MasterOf(Key key) const {
+    return master_dc >= 0 ? master_dc
+                          : static_cast<DcId>(key % static_cast<Key>(num_dcs));
+  }
+};
+
+}  // namespace planet
+
+#endif  // PLANET_MDCC_CONFIG_H_

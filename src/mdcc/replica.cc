@@ -1,0 +1,416 @@
+#include "mdcc/replica.h"
+
+#include "common/logging.h"
+
+namespace planet {
+
+Replica::Replica(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
+                 const MdccConfig& config)
+    : Node(sim, net, id, dc, rng), config_(config) {}
+
+void Replica::SetPeers(std::vector<Replica*> peers) {
+  PLANET_CHECK(static_cast<int>(peers.size()) == config_.num_dcs);
+  peers_ = std::move(peers);
+}
+
+
+void Replica::HandleFastAccept(const WriteOption& option, NodeId reply_to,
+                               std::function<void(VoteReply)> reply) {
+  Serve(config_.replica_service_cost,
+        [this, option, reply_to, reply = std::move(reply)]() mutable {
+          DoFastAccept(option, reply_to, std::move(reply));
+        });
+}
+
+void Replica::HandleClassicPropose(const WriteOption& option, NodeId reply_to,
+                                   std::function<void(bool)> reply) {
+  Serve(config_.replica_service_cost,
+        [this, option, reply_to, reply = std::move(reply)]() mutable {
+          DoClassicPropose(option, reply_to, std::move(reply));
+        });
+}
+
+void Replica::HandleMasterAccept(const WriteOption& option, NodeId master,
+                                 std::function<void(VoteReply)> reply) {
+  Serve(config_.replica_service_cost,
+        [this, option, master, reply = std::move(reply)]() mutable {
+          DoMasterAccept(option, master, std::move(reply));
+        });
+}
+
+void Replica::HandleVisibility(TxnId txn, bool commit,
+                               const std::vector<WriteOption>& options) {
+  Serve(config_.replica_service_cost, [this, txn, commit, options] {
+    DoVisibility(txn, commit, options);
+  });
+}
+
+void Replica::HandleRead(Key key, NodeId reply_to,
+                         std::function<void(RecordView)> reply) {
+  Serve(config_.replica_service_cost,
+        [this, key, reply_to, reply = std::move(reply)]() mutable {
+          DoRead(key, reply_to, std::move(reply));
+        });
+}
+
+VoteReply Replica::TryAccept(const WriteOption& option) {
+  VoteReply vote;
+  if (decided_.count(option.txn) > 0) {
+    // The decision already passed through here; a (re)accept would strand a
+    // pending option forever.
+    vote.accepted = false;
+    vote.stale = true;
+    return vote;
+  }
+  Status st = store_.CheckOption(option);
+  if (st.ok()) {
+    store_.AcceptOption(option);
+    vote.accepted = true;
+    // Track the pending transaction for the resolution protocol.
+    auto [it, inserted] = pending_since_.try_emplace(option.txn);
+    if (inserted) it->second.since = Now();
+    std::erase_if(it->second.options, [&](const WriteOption& o) {
+      return o.key == option.key;
+    });
+    it->second.options.push_back(option);
+    if (recovery_period_ > 0 && !recovery_scan_scheduled_) {
+      ScheduleRecoveryScan();
+    }
+    return vote;
+  }
+  vote.accepted = false;
+  vote.stale = st.IsAborted();
+  vote.conflict = st.code() == StatusCode::kFailedPrecondition;
+  return vote;
+}
+
+void Replica::DoFastAccept(const WriteOption& option, NodeId reply_to,
+                           std::function<void(VoteReply)> reply) {
+  (void)reply_to;
+  ++fast_accept_requests_;
+  reply(TryAccept(option));
+}
+
+void Replica::DoClassicPropose(const WriteOption& option, NodeId reply_to,
+                               std::function<void(bool)> reply) {
+  (void)reply_to;
+  ++classic_proposals_;
+  PLANET_CHECK_MSG(config_.MasterOf(option.key) == dc_,
+                   "classic proposal routed to non-master dc " << dc_);
+
+  // The master serializes: its own acceptance comes first and gives the
+  // proposal its position. On a local *conflict* (another in-flight option
+  // holds the record) the proposal waits in the per-key queue until that
+  // option resolves — this is what makes the classic path effective under
+  // contention. Stale proposals (version moved on) can never win: reject.
+  VoteReply own = TryAccept(option);
+  if (own.accepted) {
+    StartClassicRound(option, std::move(reply));
+    return;
+  }
+  if (!own.conflict || config_.classic_queue_timeout <= 0) {
+    reply(false);
+    return;
+  }
+  QueuedProposal queued;
+  queued.qid = next_qid_++;
+  queued.option = option;
+  queued.reply = std::move(reply);
+  Key key = option.key;
+  uint64_t qid = queued.qid;
+  queued.timeout_event =
+      sim_->Schedule(config_.classic_queue_timeout, [this, key, qid] {
+        auto it = classic_queue_.find(key);
+        if (it == classic_queue_.end()) return;
+        auto& q = it->second;
+        for (auto qit = q.begin(); qit != q.end(); ++qit) {
+          if (qit->qid == qid) {
+            auto failed = std::move(*qit);
+            q.erase(qit);
+            if (q.empty()) classic_queue_.erase(it);
+            failed.reply(false);
+            return;
+          }
+        }
+      });
+  classic_queue_[key].push_back(std::move(queued));
+}
+
+void Replica::DrainClassicQueue(Key key) {
+  auto it = classic_queue_.find(key);
+  if (it == classic_queue_.end()) return;
+  auto& q = it->second;
+  while (!q.empty()) {
+    VoteReply own = TryAccept(q.front().option);
+    if (own.conflict) break;  // still blocked behind a pending option
+    QueuedProposal head = std::move(q.front());
+    q.pop_front();
+    sim_->Cancel(head.timeout_event);
+    if (own.accepted) {
+      StartClassicRound(head.option, std::move(head.reply));
+      break;  // our own pending now blocks the rest of the queue
+    }
+    head.reply(false);  // stale / decided: can never win
+  }
+  if (q.empty()) classic_queue_.erase(key);
+}
+
+void Replica::StartClassicRound(const WriteOption& option,
+                                std::function<void(bool)> reply) {
+  if (config_.ClassicQuorum() <= 1) {
+    reply(true);
+    return;
+  }
+
+  uint64_t round_id = next_round_id_++;
+  ClassicRound& round = rounds_[round_id];
+  round.option = option;
+  round.reply = std::move(reply);
+  round.accepts = 1;  // the master's own vote
+
+  for (Replica* peer : peers_) {
+    if (peer == this) continue;
+    NodeId peer_id = peer->id();
+    net_->Send(id_, peer_id, [this, peer, peer_id, option, round_id] {
+      peer->HandleMasterAccept(
+          option, id_, [this, peer_id, round_id](VoteReply vote) {
+            net_->Send(peer_id, id_, [this, round_id, vote] {
+              OnMasterVote(round_id, vote);
+            });
+          });
+    });
+  }
+}
+
+void Replica::OnMasterVote(uint64_t round_id, VoteReply vote) {
+  auto it = rounds_.find(round_id);
+  if (it == rounds_.end()) return;
+  ClassicRound& round = it->second;
+  if (vote.accepted) {
+    ++round.accepts;
+  } else {
+    ++round.rejects;
+  }
+  if (!round.done) {
+    int outstanding = config_.num_dcs - round.accepts - round.rejects;
+    if (round.accepts >= config_.ClassicQuorum()) {
+      round.done = true;
+      round.reply(true);
+    } else if (round.accepts + outstanding < config_.ClassicQuorum()) {
+      round.done = true;
+      round.reply(false);
+    }
+  }
+  // All votes in: the round can be garbage collected.
+  if (round.accepts + round.rejects >= config_.num_dcs) rounds_.erase(it);
+}
+
+void Replica::DoMasterAccept(const WriteOption& option, NodeId master,
+                             std::function<void(VoteReply)> reply) {
+  (void)master;
+  reply(TryAccept(option));
+}
+
+void Replica::DoVisibility(TxnId txn, bool commit,
+                           const std::vector<WriteOption>& options) {
+  decided_.emplace(txn, Decision{Now(), commit});
+  pending_since_.erase(txn);
+  resolve_inflight_.erase(txn);
+  // Amortized GC: drop decided entries old enough that no message for them
+  // can still be in flight.
+  if (decided_.size() > 100000) {
+    const SimTime horizon = Now() - 10 * config_.txn_timeout;
+    std::erase_if(decided_, [&](const auto& entry) {
+      return entry.second.when < horizon;
+    });
+  }
+  for (const WriteOption& option : options) {
+    PLANET_CHECK(option.txn == txn);
+    if (!commit) {
+      store_.RemoveOption(txn, option.key);
+    } else {
+      ApplyDecided(option);
+    }
+    // The key's pending state changed: queued classic proposals may proceed.
+    DrainClassicQueue(option.key);
+  }
+}
+
+void Replica::ApplyDecided(const WriteOption& option) {
+  if (option.kind == OptionKind::kCommutative) {
+    if (!store_.ApplyOption(option.txn, option.key)) {
+      store_.LearnOption(option);
+    }
+    return;
+  }
+  Version current = store_.Read(option.key).version;
+  if (current == option.read_version) {
+    if (!store_.ApplyOption(option.txn, option.key)) {
+      store_.LearnOption(option);
+    }
+    DrainDeferred(option.key);
+  } else if (current < option.read_version) {
+    // An earlier committed transition has not arrived here yet; hold this one
+    // so replicas apply the unique per-key version chain in order.
+    deferred_[option.key][option.read_version] = option;
+  } else {
+    // current > read_version: already applied (duplicate delivery); the
+    // pending entry, if any, is obsolete.
+    store_.RemoveOption(option.txn, option.key);
+  }
+}
+
+void Replica::DrainDeferred(Key key) {
+  auto it = deferred_.find(key);
+  if (it == deferred_.end()) return;
+  auto& chain = it->second;
+  while (true) {
+    Version current = store_.Read(key).version;
+    auto next = chain.find(current);
+    if (next == chain.end()) break;
+    WriteOption option = next->second;
+    chain.erase(next);
+    if (!store_.ApplyOption(option.txn, option.key)) {
+      store_.LearnOption(option);
+    }
+  }
+  if (chain.empty()) deferred_.erase(it);
+}
+
+void Replica::DoRead(Key key, NodeId reply_to,
+                     std::function<void(RecordView)> reply) {
+  (void)reply_to;
+  reply(store_.Read(key));
+}
+
+size_t Replica::DeferredCount() const {
+  size_t total = 0;
+  for (const auto& [key, chain] : deferred_) total += chain.size();
+  return total;
+}
+
+void Replica::EnableRecovery(Duration period) {
+  PLANET_CHECK(period > 0);
+  recovery_period_ = period;
+  if (!pending_since_.empty() && !recovery_scan_scheduled_) {
+    ScheduleRecoveryScan();
+  }
+}
+
+void Replica::ScheduleRecoveryScan() {
+  recovery_scan_scheduled_ = true;
+  sim_->Schedule(recovery_period_, [this] { RecoveryScan(); });
+}
+
+void Replica::RecoveryScan() {
+  recovery_scan_scheduled_ = false;
+  if (pending_since_.empty()) return;  // nothing to watch; scan stops
+
+  const SimTime overdue = Now() - config_.txn_timeout;
+  for (const auto& [txn, pending] : pending_since_) {
+    if (pending.since > overdue) continue;
+    if (resolve_inflight_.count(txn) > 0) continue;
+    // Ask every peer for the decision. First "known" reply resolves; if all
+    // reply unknown, the query is retried at a later scan. Replies can be
+    // lost to partitions, so the query itself expires: after the horizon the
+    // in-flight entry is dropped and a later scan asks again.
+    resolve_inflight_[txn] = config_.num_dcs - 1;
+    sim_->Schedule(2 * config_.txn_timeout, [this, txn_id = txn] {
+      resolve_inflight_.erase(txn_id);
+    });
+    for (Replica* peer : peers_) {
+      if (peer == this) continue;
+      NodeId peer_id = peer->id();
+      TxnId txn_copy = txn;
+      net_->Send(id_, peer_id, [this, peer, peer_id, txn_copy] {
+        peer->HandleResolveQuery(
+            txn_copy, [this, peer_id, txn_copy](bool known, bool commit) {
+              net_->Send(peer_id, id_, [this, txn_copy, known, commit] {
+                OnResolveReply(txn_copy, known, commit);
+              });
+            });
+      });
+    }
+  }
+  ScheduleRecoveryScan();  // keep scanning while pendings exist
+}
+
+void Replica::HandleResolveQuery(TxnId txn,
+                                 std::function<void(bool, bool)> reply) {
+  auto it = decided_.find(txn);
+  if (it == decided_.end()) {
+    reply(false, false);
+  } else {
+    reply(true, it->second.commit);
+  }
+}
+
+void Replica::OnResolveReply(TxnId txn, bool known, bool commit) {
+  auto it = resolve_inflight_.find(txn);
+  if (it == resolve_inflight_.end()) return;  // already resolved
+  if (known) {
+    resolve_inflight_.erase(it);
+    ResolveLocally(txn, commit);
+    return;
+  }
+  if (--it->second <= 0) {
+    // Nobody knows (the coordinator may still be deciding, or was cut off
+    // from the whole cluster): retry at a later scan.
+    resolve_inflight_.erase(it);
+  }
+}
+
+void Replica::RequestSyncAll() {
+  for (Replica* peer : peers_) {
+    if (peer == this) continue;
+    NodeId peer_id = peer->id();
+    net_->Send(id_, peer_id, [this, peer, peer_id] {
+      peer->HandleSyncRequest([this, peer_id](std::vector<SyncEntry> state) {
+        net_->Send(peer_id, id_, [this, state = std::move(state)] {
+          OnSyncState(state);
+        });
+      });
+    });
+  }
+}
+
+void Replica::HandleSyncRequest(
+    std::function<void(std::vector<SyncEntry>)> reply) {
+  reply(store_.ExportState());
+}
+
+void Replica::OnSyncState(const std::vector<SyncEntry>& state) {
+  for (const SyncEntry& entry : state) {
+    if (!store_.AdoptRecord(entry)) continue;
+    ++sync_records_adopted_;
+    // Transitions deferred behind versions we just jumped over are obsolete.
+    auto it = deferred_.find(entry.key);
+    if (it != deferred_.end()) {
+      std::erase_if(it->second, [&](const auto& e) {
+        return e.first < store_.Read(entry.key).version;
+      });
+      if (it->second.empty()) deferred_.erase(it);
+    }
+    DrainDeferred(entry.key);
+    DrainClassicQueue(entry.key);
+  }
+}
+
+void Replica::ResolveLocally(TxnId txn, bool commit) {
+  auto pending = pending_since_.find(txn);
+  if (pending == pending_since_.end()) return;
+  std::vector<WriteOption> options = std::move(pending->second.options);
+  pending_since_.erase(pending);
+  decided_.emplace(txn, Decision{Now(), commit});
+  recovered_options_ += options.size();
+  for (const WriteOption& option : options) {
+    if (commit) {
+      ApplyDecided(option);
+    } else {
+      store_.RemoveOption(txn, option.key);
+    }
+    DrainClassicQueue(option.key);
+  }
+}
+
+}  // namespace planet

@@ -1,0 +1,208 @@
+// Replica node: acceptor of per-record Paxos instances, per-record master
+// for the classic path, and learner of transaction visibility.
+//
+// Safety argument (documented in DESIGN.md): an option is *chosen* when a
+// fast quorum (N - floor(N/4)) or a classic quorum (majority, serialized by
+// the key's master) accepts it. Every acceptor applies the same conflict
+// check before accepting, so two conflicting options can never both be
+// chosen: their quorums would overlap in an acceptor that accepted both
+// while both were pending, which the check forbids. The commit point of a
+// transaction is the coordinator's decision (all options chosen); replicas
+// make options visible only on the coordinator's Visibility message, and
+// physical transitions are applied in version order so replicas converge to
+// identical state regardless of delivery order.
+#ifndef PLANET_MDCC_REPLICA_H_
+#define PLANET_MDCC_REPLICA_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "mdcc/config.h"
+#include "sim/node.h"
+#include "storage/store.h"
+
+namespace planet {
+
+/// Reply to a (fast or classic) accept request.
+struct VoteReply {
+  bool accepted = false;
+  /// Rejection breakdown (meaningful when !accepted).
+  bool stale = false;     ///< version mismatch / bounds violated
+  bool conflict = false;  ///< pending option of another transaction
+};
+
+class Replica : public Node {
+ public:
+  Replica(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
+          const MdccConfig& config);
+
+  /// Wires up peer replicas (call once, after all replicas are built).
+  void SetPeers(std::vector<Replica*> peers);
+
+  Store& store() { return store_; }
+  const Store& store() const { return store_; }
+
+  // -- Acceptor ---------------------------------------------------------
+  /// Fast-path accept: check the option against local state; accept if
+  /// compatible. `reply` is routed back to the caller over the network.
+  void HandleFastAccept(const WriteOption& option, NodeId reply_to,
+                        std::function<void(VoteReply)> reply);
+
+  // -- Master (classic path) -------------------------------------------
+  /// Classic proposal: this replica must be the key's master. It serializes
+  /// the option (local check first), then gathers a classic quorum from its
+  /// peers. `reply(true)` means the option is chosen.
+  void HandleClassicPropose(const WriteOption& option, NodeId reply_to,
+                            std::function<void(bool chosen)> reply);
+
+  /// Peer-side accept of a master-forwarded option.
+  void HandleMasterAccept(const WriteOption& option, NodeId master,
+                          std::function<void(VoteReply)> reply);
+
+  // -- Learner ----------------------------------------------------------
+  /// Coordinator decision: commit makes every option visible (in version
+  /// order for physical options); abort drops pending options.
+  void HandleVisibility(TxnId txn, bool commit,
+                        const std::vector<WriteOption>& options);
+
+  // -- Reads ------------------------------------------------------------
+  /// Read-committed read of a key's visible state.
+  void HandleRead(Key key, NodeId reply_to,
+                  std::function<void(RecordView)> reply);
+
+  // -- Recovery ---------------------------------------------------------
+  /// Starts the pending-option resolution protocol: every `period`, pending
+  /// options older than the transaction timeout are resolved by asking peer
+  /// replicas for the transaction's decision (which they learned from the
+  /// Visibility broadcast). This heals replicas that were partitioned away
+  /// when the decision was published. A decision unknown to every reachable
+  /// peer (e.g. the coordinator was partitioned from the whole cluster) is
+  /// retried next period.
+  void EnableRecovery(Duration period);
+
+  /// Peer-side: decision of `txn` if this replica learned it.
+  /// Calls `reply(known, committed)`.
+  void HandleResolveQuery(TxnId txn, std::function<void(bool, bool)> reply);
+
+  uint64_t recovered_options() const { return recovered_options_; }
+
+  /// Anti-entropy: pulls committed state from every peer and adopts fresher
+  /// records (higher version; or more applied deltas for counter records).
+  /// Heals a replica that missed commit visibilities for options it never
+  /// voted on — run it after a partition heals (the harness exposes
+  /// Cluster::HealDc, and operators would trigger it the same way).
+  void RequestSyncAll();
+
+  /// Peer side of anti-entropy: ships the committed state.
+  void HandleSyncRequest(std::function<void(std::vector<SyncEntry>)> reply);
+
+  uint64_t sync_records_adopted() const { return sync_records_adopted_; }
+
+  /// Number of physical transitions waiting for earlier versions (tests).
+  size_t DeferredCount() const;
+
+  /// Experiment counters.
+  uint64_t fast_accept_requests() const { return fast_accept_requests_; }
+  uint64_t classic_proposals() const { return classic_proposals_; }
+
+ private:
+  struct ClassicRound {
+    WriteOption option;
+    NodeId reply_to = kInvalidNodeId;
+    std::function<void(bool)> reply;
+    int accepts = 0;
+    int rejects = 0;
+    bool done = false;
+  };
+
+  /// Shared acceptor logic for fast and master-forwarded accepts.
+  VoteReply TryAccept(const WriteOption& option);
+
+  // Service-queue bodies of the public message handlers (the public entry
+  // points charge config_.replica_service_cost on the node's serial CPU).
+  void DoFastAccept(const WriteOption& option, NodeId reply_to,
+                    std::function<void(VoteReply)> reply);
+  void DoClassicPropose(const WriteOption& option, NodeId reply_to,
+                        std::function<void(bool)> reply);
+  void DoMasterAccept(const WriteOption& option, NodeId master,
+                      std::function<void(VoteReply)> reply);
+  void DoVisibility(TxnId txn, bool commit,
+                    const std::vector<WriteOption>& options);
+  void DoRead(Key key, NodeId reply_to,
+              std::function<void(RecordView)> reply);
+
+  /// Collects one peer vote for a classic round this node masters.
+  void OnMasterVote(uint64_t round_id, VoteReply vote);
+
+  /// Runs the quorum phase of a classic proposal this master has already
+  /// accepted locally.
+  void StartClassicRound(const WriteOption& option,
+                         std::function<void(bool)> reply);
+
+  /// Retries queued classic proposals for `key` after its pending state
+  /// changed (visibility processed).
+  void DrainClassicQueue(Key key);
+
+  /// Applies a decided option respecting version order; defers physical
+  /// transitions whose predecessor has not been applied here yet.
+  void ApplyDecided(const WriteOption& option);
+
+  /// Applies any deferred transitions that became applicable for `key`.
+  void DrainDeferred(Key key);
+
+  struct QueuedProposal {
+    uint64_t qid = 0;
+    WriteOption option;
+    std::function<void(bool)> reply;
+    EventId timeout_event = kInvalidEventId;
+  };
+
+  MdccConfig config_;
+  Store store_;
+  std::vector<Replica*> peers_;  // all replicas including this one
+  std::unordered_map<uint64_t, ClassicRound> rounds_;
+  /// Per-key serialization queue of classic proposals (master role).
+  std::unordered_map<Key, std::deque<QueuedProposal>> classic_queue_;
+  uint64_t next_qid_ = 1;
+  uint64_t next_round_id_ = 1;
+  /// key -> (read_version -> decided option) awaiting earlier versions.
+  std::unordered_map<Key, std::map<Version, WriteOption>> deferred_;
+  struct Decision {
+    SimTime when = 0;
+    bool commit = false;
+  };
+  /// Transactions whose decision this replica has learned; accepts for them
+  /// are refused so a late FastAccept cannot strand a pending option after
+  /// the Visibility broadcast has already passed; recovery queries are
+  /// answered from here. GC'd after a horizon.
+  std::unordered_map<TxnId, Decision> decided_;
+
+  // -- Recovery state ----------------------------------------------------
+  struct PendingTxn {
+    SimTime since = 0;
+    std::vector<WriteOption> options;
+  };
+  void ScheduleRecoveryScan();
+  void RecoveryScan();
+  void OnResolveReply(TxnId txn, bool known, bool commit);
+  void ResolveLocally(TxnId txn, bool commit);
+  void OnSyncState(const std::vector<SyncEntry>& state);
+
+  Duration recovery_period_ = 0;
+  bool recovery_scan_scheduled_ = false;
+  std::unordered_map<TxnId, PendingTxn> pending_since_;
+  /// Outstanding recovery queries: txn -> unknown-replies still expected.
+  std::unordered_map<TxnId, int> resolve_inflight_;
+  uint64_t recovered_options_ = 0;
+  uint64_t sync_records_adopted_ = 0;
+
+  uint64_t fast_accept_requests_ = 0;
+  uint64_t classic_proposals_ = 0;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_MDCC_REPLICA_H_

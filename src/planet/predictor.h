@@ -1,0 +1,224 @@
+// Commit-likelihood prediction: the analytical heart of PLANET.
+//
+// The predictor combines two online-learned models:
+//   * LatencyModel — per (client DC, replica DC) round-trip histograms,
+//     answering "what is the probability the outstanding vote arrives within
+//     my remaining budget, given it has been silent for `elapsed` already?"
+//   * ConflictModel — per-key EWMA of acceptor-level rejection probability,
+//     answering "what is the probability one more acceptor rejects this
+//     option because of contention?"
+//
+// CommitLikelihoodEstimator maps a transaction's live vote tallies to
+// P(commit): per undecided option it computes the probability that enough of
+// the outstanding acceptors accept (binomial over the conflict probability),
+// adds the classic-path rescue term, and multiplies across options
+// (independence assumption, as in the paper).
+#ifndef PLANET_PLANET_PREDICTOR_H_
+#define PLANET_PLANET_PREDICTOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "mdcc/client.h"
+#include "mdcc/config.h"
+
+namespace planet {
+
+/// Tuning knobs of the PLANET layer.
+struct PlanetConfig {
+  /// Admission control: reject transactions whose prior commit likelihood is
+  /// below the threshold (0 disables rejection even when enabled).
+  bool enable_admission = false;
+  double admission_threshold = 0.0;
+
+  /// Latency-aware admission (extension): when > 0, the prior likelihood is
+  /// computed as P(commit AND decision within this SLA) using the learned
+  /// RTT model — so a saturated or degraded cluster sheds load before
+  /// burning wide-area work on transactions that cannot meet the SLA.
+  Duration admission_sla = 0;
+
+  /// EWMA weight of new conflict observations.
+  double conflict_alpha = 0.05;
+
+  /// Assumed RTT before the latency model has data.
+  Duration latency_prior_hint = Millis(250);
+
+  /// Damping of the classic-path rescue probability (correlated rejections
+  /// make a fresh-state classic estimate optimistic).
+  double classic_damp = 0.5;
+
+  /// Ablation knob (experiment F3): when false the estimator composes
+  /// vote-level conflict rates under the independence assumption instead of
+  /// using the calibrated option-level outcome model. Vote-level rejections
+  /// are correlated within an option, so this is measurably miscalibrated —
+  /// kept to quantify the design choice.
+  bool use_option_level_model = true;
+
+  /// Number of buckets of the built-in calibration tracker.
+  int calibration_buckets = 10;
+};
+
+/// Per-DC-pair round-trip model learned online from coordinator-observed
+/// votes.
+class LatencyModel {
+ public:
+  LatencyModel(int num_dcs, Duration prior_hint);
+
+  void RecordRtt(DcId from, DcId to, Duration rtt);
+
+  /// P(reply arrives within `budget` of the send).
+  double ProbResponseWithin(DcId from, DcId to, Duration budget) const;
+
+  /// P(reply arrives within `budget` more | silent for `elapsed` already).
+  double ProbResponseWithinGiven(DcId from, DcId to, Duration elapsed,
+                                 Duration budget) const;
+
+  /// Observed RTT percentile (prior hint when no data).
+  Duration RttPercentile(DcId from, DcId to, double pct) const;
+
+  /// True once the link has enough samples for its learned CDF to be used.
+  bool HasData(DcId from, DcId to) const;
+
+  const Histogram& HistogramFor(DcId from, DcId to) const;
+  uint64_t total_samples() const { return total_samples_; }
+
+ private:
+  size_t Index(DcId from, DcId to) const;
+
+  int num_dcs_;
+  Duration prior_hint_;
+  std::vector<Histogram> hists_;
+  uint64_t total_samples_ = 0;
+};
+
+/// Contention model, per key with a global fallback, learned at two levels:
+///   * vote level — P(one acceptor rejects), from individual votes;
+///   * option level — P(an option is ultimately not chosen), from option
+///     decisions. Votes within an option are strongly correlated (a blocked
+///     record rejects everywhere at once), so the option-level rate is the
+///     calibrated signal; the vote-level rate is kept for diagnostics.
+class ConflictModel {
+ public:
+  explicit ConflictModel(double alpha);
+
+  /// Feeds one acceptor vote (accepted / rejected-for-contention).
+  void RecordVote(Key key, bool accepted);
+
+  /// Feeds one option decision (chosen / failed).
+  void RecordOptionOutcome(Key key, bool chosen);
+
+  /// P(one more acceptor rejects an option on `key`). Blends the per-key
+  /// EWMA with the global rate while the key has few observations.
+  double ConflictProb(Key key) const;
+
+  /// P(a fresh option on `key` ultimately fails). Same blending.
+  double OptionFailProb(Key key) const;
+
+  uint64_t observations() const { return global_votes_.observations(); }
+  uint64_t option_observations() const {
+    return global_options_.observations();
+  }
+
+ private:
+  static double Blend(const std::unordered_map<Key, Ewma>& per_key,
+                      const Ewma& global, Key key);
+
+  double alpha_;
+  Ewma global_votes_;
+  Ewma global_options_;
+  std::unordered_map<Key, Ewma> votes_per_key_;
+  std::unordered_map<Key, Ewma> options_per_key_;
+};
+
+/// P(X >= k) for X ~ Binomial(n, p). Exposed for tests.
+double BinomialTail(int n, double p, int k);
+
+/// Maps live transaction progress to commit likelihood.
+class CommitLikelihoodEstimator {
+ public:
+  CommitLikelihoodEstimator(const MdccConfig& mdcc, const PlanetConfig& planet,
+                            const LatencyModel* latency,
+                            const ConflictModel* conflict);
+
+  /// P(this transaction eventually commits), from the coordinator view.
+  double Estimate(const TxnView& view) const;
+
+  /// P(commit and all needed votes arrive within `budget` from `now`);
+  /// `client_dc` locates the coordinator for the latency model.
+  double EstimateBy(const TxnView& view, SimTime now, Duration budget,
+                    DcId client_dc) const;
+
+  /// Prior likelihood of a not-yet-proposed write set (admission control):
+  /// every option starts with zero votes.
+  double EstimateFresh(const std::vector<WriteOption>& writes) const;
+
+  /// P(fresh write set commits AND the decision arrives within `sla`),
+  /// combining the conflict prior with the learned RTT tails from
+  /// `client_dc` (latency-aware admission).
+  double EstimateFreshBy(const std::vector<WriteOption>& writes, Duration sla,
+                         DcId client_dc) const;
+
+  /// Probability a single fresh option is eventually chosen. Driven by the
+  /// option-level outcome model (self-calibrating); falls back to the
+  /// vote-level binomial when no option outcomes have been observed yet.
+  double FreshOptionLikelihood(Key key) const;
+
+  /// The per-acceptor accept probability implied by the option-level
+  /// outcome rate of `key` under the independence model (inverted
+  /// numerically). Feeds the in-flight vote-progress updates so that the
+  /// zero-vote estimate coincides with FreshOptionLikelihood.
+  double EffectiveAcceptProb(Key key) const;
+
+ private:
+  /// Likelihood of one in-flight option, optionally latency-constrained.
+  double OptionLikelihood(const OptionProgress& op, bool with_latency,
+                          SimTime now, Duration budget, DcId client_dc) const;
+
+  double ClassicRescue(double conflict_prob) const;
+
+  /// P(fresh option chosen) if each acceptor independently accepts with
+  /// probability q (fast quorum + damped classic rescue).
+  double FreshSuccessGivenAcceptProb(double q) const;
+
+  MdccConfig mdcc_;
+  PlanetConfig planet_;
+  const LatencyModel* latency_;
+  const ConflictModel* conflict_;
+};
+
+/// Reliability-diagram tracker: buckets predictions and records outcomes so
+/// experiment F3 can compare predicted vs observed commit rates.
+class CalibrationTracker {
+ public:
+  explicit CalibrationTracker(int buckets);
+
+  void Record(double predicted, bool committed);
+
+  struct Bucket {
+    double lo = 0;
+    double hi = 0;
+    uint64_t total = 0;
+    uint64_t committed = 0;
+    double mean_predicted = 0;  ///< average prediction in the bucket
+  };
+  std::vector<Bucket> Buckets() const;
+
+  uint64_t total() const { return total_; }
+
+  /// Expected calibration error: sum over buckets of
+  /// |observed - predicted| weighted by bucket mass.
+  double ExpectedCalibrationError() const;
+
+ private:
+  int buckets_;
+  std::vector<uint64_t> totals_;
+  std::vector<uint64_t> committed_;
+  std::vector<double> predicted_sum_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_PLANET_PREDICTOR_H_

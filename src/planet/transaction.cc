@@ -1,0 +1,112 @@
+#include "planet/transaction.h"
+
+#include "common/logging.h"
+#include "planet/client.h"
+
+namespace planet {
+
+void PlanetTransaction::Read(Key key, std::function<void(Status, Value)> cb) {
+  PLANET_CHECK(valid());
+  client_->Read(id_, key, std::move(cb));
+}
+
+Status PlanetTransaction::Write(Key key, Value value) {
+  PLANET_CHECK(valid());
+  return client_->Write(id_, key, value);
+}
+
+Status PlanetTransaction::Add(Key key, Value delta) {
+  PLANET_CHECK(valid());
+  return client_->Add(id_, key, delta);
+}
+
+PlanetTransaction& PlanetTransaction::OnProgress(
+    std::function<void(const TxnProgress&)> cb) {
+  PLANET_CHECK(valid());
+  client_->SetOnProgress(id_, std::move(cb));
+  return *this;
+}
+
+PlanetTransaction& PlanetTransaction::OnStage(
+    std::function<void(PlanetStage)> cb) {
+  PLANET_CHECK(valid());
+  client_->SetOnStage(id_, std::move(cb));
+  return *this;
+}
+
+PlanetTransaction& PlanetTransaction::OnFinal(std::function<void(Status)> cb) {
+  PLANET_CHECK(valid());
+  client_->SetOnFinal(id_, std::move(cb));
+  return *this;
+}
+
+PlanetTransaction& PlanetTransaction::OnApology(std::function<void()> cb) {
+  PLANET_CHECK(valid());
+  client_->SetOnApology(id_, std::move(cb));
+  return *this;
+}
+
+PlanetTransaction& PlanetTransaction::WithTimeout(
+    Duration timeout, std::function<void(PlanetTransaction&)> cb) {
+  PLANET_CHECK(valid());
+  client_->SetTimeout(id_, timeout, std::move(cb));
+  return *this;
+}
+
+void PlanetTransaction::Commit(std::function<void(const Outcome&)> user_cb) {
+  PLANET_CHECK(valid());
+  client_->Commit(id_, std::move(user_cb));
+}
+
+double PlanetTransaction::CommitLikelihood() const {
+  PLANET_CHECK(valid());
+  return client_->Likelihood(id_);
+}
+
+double PlanetTransaction::CommitLikelihoodBy(Duration budget) const {
+  PLANET_CHECK(valid());
+  return client_->LikelihoodBy(id_, budget);
+}
+
+Duration PlanetTransaction::PredictRemainingTime(double confidence) const {
+  PLANET_CHECK(valid());
+  PlanetStage current = client_->StageOf(id_);
+  if (current == PlanetStage::kCommitted) return 0;
+  if (current == PlanetStage::kAborted || current == PlanetStage::kRejected) {
+    return kSimTimeMax;
+  }
+  double eventual = client_->Likelihood(id_);
+  if (eventual <= 0.01) return kSimTimeMax;  // abort-bound: no estimate
+  // Find the smallest budget whose conditional completion probability
+  // (P(commit by budget) / P(commit eventually)) clears the confidence.
+  Duration lo = 0, hi = Seconds(60);
+  if (client_->LikelihoodBy(id_, hi) / eventual < confidence) {
+    return kSimTimeMax;
+  }
+  for (int i = 0; i < 24; ++i) {
+    Duration mid = (lo + hi) / 2;
+    if (client_->LikelihoodBy(id_, mid) / eventual >= confidence) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+void PlanetTransaction::Speculate() {
+  PLANET_CHECK(valid());
+  client_->Speculate(id_);
+}
+
+void PlanetTransaction::GiveUp() {
+  PLANET_CHECK(valid());
+  client_->GiveUp(id_);
+}
+
+PlanetStage PlanetTransaction::stage() const {
+  PLANET_CHECK(valid());
+  return client_->StageOf(id_);
+}
+
+}  // namespace planet

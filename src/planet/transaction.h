@@ -1,0 +1,147 @@
+// The PLANET transaction programming model.
+//
+// PLANET's contribution (per the paper abstract): a transaction programming
+// model that (1) exposes the internal progress of a transaction,
+// (2) provides opportunities for application callbacks at each stage, and
+// (3) incorporates commit-likelihood prediction so applications can act
+// sensibly — e.g. speculatively report success, keep waiting, or give up —
+// even when the commit takes unpredictably long.
+//
+// Typical use:
+//
+//   PlanetTransaction t = client.Begin();
+//   t.OnProgress([](const TxnProgress& p) { ui.ShowBar(p.likelihood); });
+//   t.WithTimeout(Millis(300), [](PlanetTransaction& t) {
+//     if (t.CommitLikelihood() > 0.95) t.Speculate();  // tell the user "done"
+//     else t.GiveUp();                                 // tell the user "later"
+//   });
+//   t.OnApology([] { ui.Apologize(); });  // speculation turned out wrong
+//   t.Read(key, [&](Status s, Value v) {
+//     t.Write(key, v + 1);
+//     t.Commit([](const Outcome& o) { ui.ShowFirstResult(o); });
+//   });
+//   t.OnFinal([](Status s) { log.DefinitiveOutcome(s); });
+#ifndef PLANET_PLANET_TRANSACTION_H_
+#define PLANET_PLANET_TRANSACTION_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace planet {
+
+class PlanetClient;
+
+/// Application-visible stage of a PLANET transaction. Progress callbacks
+/// fire on every stage change and on every acceptor vote.
+enum class PlanetStage {
+  kExecuting,              ///< reads running, writes buffered
+  kSubmitted,              ///< commit requested, options proposed
+  kClassicFallback,        ///< at least one option went to its master
+  kSpeculativelyCommitted, ///< app accepted a high-likelihood guess
+  kTimedOutUnknown,        ///< app gave up waiting; outcome still pending
+  kCommitted,              ///< definitive commit
+  kAborted,                ///< definitive abort
+  kRejected,               ///< refused by admission control (never proposed)
+};
+
+const char* PlanetStageName(PlanetStage stage);
+
+/// Snapshot handed to OnProgress callbacks.
+struct TxnProgress {
+  PlanetStage stage = PlanetStage::kExecuting;
+  double likelihood = 1.0;   ///< current commit-likelihood estimate
+  int options_total = 0;     ///< number of written records
+  int options_decided = 0;   ///< per-record Paxos instances decided
+  int votes_received = 0;    ///< acceptor votes seen so far
+  int votes_total = 0;       ///< fast-path votes expected
+  Duration elapsed = 0;      ///< since Begin()
+};
+
+/// What the application user "sees" at first notification: the definitive
+/// outcome, a speculative commit, an admission rejection, or a give-up.
+struct Outcome {
+  Status status;
+  bool speculative = false;
+  Duration user_latency = 0;  ///< Begin() -> this notification
+};
+
+/// Move-light handle to one PLANET transaction. Copyable; all state lives in
+/// the PlanetClient. Methods on a finished-and-collected transaction are
+/// safe no-ops (callbacks cannot fire twice).
+class PlanetTransaction {
+ public:
+  PlanetTransaction() = default;
+  PlanetTransaction(PlanetClient* client, TxnId id)
+      : client_(client), id_(id) {}
+
+  TxnId id() const { return id_; }
+  bool valid() const { return client_ != nullptr; }
+
+  /// Read-committed read; the observed version becomes the transaction's
+  /// read version of `key` (required before Write of the same key).
+  void Read(Key key, std::function<void(Status, Value)> cb);
+
+  /// Buffers a physical write (requires a prior Read of `key`).
+  Status Write(Key key, Value value);
+
+  /// Buffers a commutative delta (hot-counter updates; experiment F7).
+  Status Add(Key key, Value delta);
+
+  /// Fired on every vote / stage change while the commit is in flight.
+  PlanetTransaction& OnProgress(std::function<void(const TxnProgress&)> cb);
+
+  /// Fired on stage transitions only.
+  PlanetTransaction& OnStage(std::function<void(PlanetStage)> cb);
+
+  /// Fired exactly once with the definitive outcome (even after speculation
+  /// or give-up).
+  PlanetTransaction& OnFinal(std::function<void(Status)> cb);
+
+  /// Fired if a speculatively-committed transaction ultimately aborts.
+  PlanetTransaction& OnApology(std::function<void()> cb);
+
+  /// Arms a deadline measured from Commit(); if the outcome is unknown at
+  /// the deadline the callback runs and may call Speculate() or GiveUp().
+  PlanetTransaction& WithTimeout(Duration timeout,
+                                 std::function<void(PlanetTransaction&)> cb);
+
+  /// Submits the transaction. `user_cb` fires exactly once at the moment the
+  /// application would show a result to its user: definitive outcome,
+  /// speculative commit, admission rejection, or give-up.
+  void Commit(std::function<void(const Outcome&)> user_cb);
+
+  /// Current commit-likelihood estimate (1.0 before proposing).
+  double CommitLikelihood() const;
+
+  /// P(commit with decision arriving within `budget` from now).
+  double CommitLikelihoodBy(Duration budget) const;
+
+  /// Predicted additional time until the definitive decision, at the given
+  /// confidence (e.g. 0.95 -> "with 95% confidence the decision arrives
+  /// within the returned duration, given that it commits"). Derived from
+  /// the learned RTT model by inverting CommitLikelihoodBy. Returns 0 once
+  /// decided; kSimTimeMax when the transaction is likely to abort (no
+  /// decision-time estimate is meaningful then).
+  Duration PredictRemainingTime(double confidence = 0.95) const;
+
+  /// Inside (or after) the timeout callback: report success to the user now,
+  /// on the strength of the likelihood estimate. Tracked to the definitive
+  /// outcome; a wrong guess fires OnApology.
+  void Speculate();
+
+  /// Inside the timeout callback: stop making the user wait; the transaction
+  /// continues in the background and OnFinal still fires.
+  void GiveUp();
+
+  PlanetStage stage() const;
+
+ private:
+  PlanetClient* client_ = nullptr;
+  TxnId id_ = kInvalidTxnId;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_PLANET_TRANSACTION_H_

@@ -1,0 +1,101 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace planet {
+
+Network::Network(Simulator* sim, Rng rng)
+    : sim_(sim),
+      rng_(rng),
+      messages_sent_(0),
+      messages_dropped_(0),
+      messages_retransmitted_(0) {
+  PLANET_CHECK(sim != nullptr);
+}
+
+void Network::RegisterNode(NodeId node, DcId dc) {
+  PLANET_CHECK_MSG(node == static_cast<NodeId>(node_dc_.size()),
+                   "nodes must be registered densely; got " << node);
+  node_dc_.push_back(dc);
+}
+
+DcId Network::DcOf(NodeId node) const {
+  PLANET_CHECK_MSG(node >= 0 && node < static_cast<NodeId>(node_dc_.size()),
+                   "unregistered node " << node);
+  return node_dc_[static_cast<size_t>(node)];
+}
+
+void Network::SetLink(DcId a, DcId b, const LinkParams& params) {
+  links_[{a, b}] = params;
+  links_[{b, a}] = params;
+}
+
+void Network::SetDirectedLink(DcId src, DcId dst, const LinkParams& params) {
+  links_[{src, dst}] = params;
+}
+
+void Network::SetPartitioned(DcId a, DcId b, bool partitioned) {
+  partitioned_[{a, b}] = partitioned;
+  partitioned_[{b, a}] = partitioned;
+}
+
+void Network::SetDegradation(DcId dc, const DcDegradation& degradation) {
+  degradation_[dc] = degradation;
+}
+
+void Network::ClearDegradation(DcId dc) { degradation_.erase(dc); }
+
+const LinkParams& Network::LinkFor(DcId src, DcId dst) const {
+  auto it = links_.find({src, dst});
+  return it != links_.end() ? it->second : default_link_;
+}
+
+Duration Network::SampleLatency(DcId src, DcId dst) {
+  const LinkParams& link = LinkFor(src, dst);
+  double delay = rng_.Lognormal(
+      std::max<double>(1.0, static_cast<double>(link.median_one_way)),
+      link.sigma);
+  // Degradation models wide-area ingress/egress congestion at a DC; traffic
+  // that never leaves the DC is unaffected.
+  if (src != dst) {
+    for (DcId dc : {src, dst}) {
+      auto it = degradation_.find(dc);
+      if (it != degradation_.end()) {
+        const DcDegradation& deg = it->second;
+        if (deg.extra_median > 0) {
+          delay += rng_.Lognormal(static_cast<double>(deg.extra_median),
+                                  std::max(0.01, deg.extra_sigma));
+        }
+      }
+    }
+  }
+  Duration d = static_cast<Duration>(delay);
+  return std::max(d, link.min_latency);
+}
+
+void Network::Send(NodeId src, NodeId dst, std::function<void()> deliver) {
+  DcId src_dc = DcOf(src);
+  DcId dst_dc = DcOf(dst);
+  ++messages_sent_;
+
+  auto part = partitioned_.find({src_dc, dst_dc});
+  if (part != partitioned_.end() && part->second) {
+    ++messages_dropped_;
+    return;
+  }
+  const LinkParams& link = LinkFor(src_dc, dst_dc);
+  Duration delay = SampleLatency(src_dc, dst_dc);
+  // Reliable channel: "loss" delays the message by the retransmission
+  // timeout instead of dropping it (possibly several times in a row).
+  if (link.loss_prob > 0.0) {
+    Duration rto = link.retransmit_timeout > 0 ? link.retransmit_timeout
+                                               : 4 * link.median_one_way;
+    while (rng_.Bernoulli(link.loss_prob)) {
+      delay += rto;
+      ++messages_retransmitted_;
+    }
+  }
+  sim_->Schedule(delay, std::move(deliver));
+}
+
+}  // namespace planet

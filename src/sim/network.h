@@ -1,0 +1,100 @@
+// Wide-area network model with per-DC-pair latency injection.
+//
+// Latency model per (src DC, dst DC) link: one-way delay sampled as
+//   max(min_latency, Lognormal(median, sigma)) + degradation(src) +
+//   degradation(dst)
+// plus optional message loss and full partitions. Lognormal jitter matches
+// the heavy-tailed WAN RTT distributions PLANET's predictor must cope with;
+// degradation injection reproduces the paper's "unpredictable environments"
+// (load spikes, consolidation interference).
+#ifndef PLANET_SIM_NETWORK_H_
+#define PLANET_SIM_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace planet {
+
+/// Parameters of one directed DC-to-DC link.
+///
+/// Channels are reliable (the real system runs over TCP): packet loss does
+/// not drop a message, it delays it by a retransmission timeout — which is
+/// exactly the latency-spike behaviour PLANET's predictor must absorb.
+/// Only partitions drop messages.
+struct LinkParams {
+  Duration median_one_way = Millis(1);  ///< median one-way delay
+  double sigma = 0.1;                   ///< lognormal shape (jitter)
+  Duration min_latency = Micros(50);    ///< physical floor
+  double loss_prob = 0.0;               ///< per-message retransmission prob.
+  Duration retransmit_timeout = 0;      ///< RTO; 0 means 4x median
+};
+
+/// Per-DC degradation used to inject latency spikes (experiment F8).
+struct DcDegradation {
+  Duration extra_median = 0;  ///< added one-way delay (median)
+  double extra_sigma = 0.0;   ///< extra jitter while degraded
+};
+
+/// The message fabric. Nodes are registered with their data center; sends
+/// are closures delivered on the destination's behalf after the sampled
+/// one-way delay.
+class Network {
+ public:
+  Network(Simulator* sim, Rng rng);
+
+  /// Registers a node in a data center. NodeIds are dense from 0.
+  void RegisterNode(NodeId node, DcId dc);
+
+  /// DC of a registered node.
+  DcId DcOf(NodeId node) const;
+  int num_nodes() const { return static_cast<int>(node_dc_.size()); }
+
+  /// Sets the (symmetric) link between two DCs. a == b sets intra-DC.
+  void SetLink(DcId a, DcId b, const LinkParams& params);
+
+  /// Directed override (for asymmetric routes).
+  void SetDirectedLink(DcId src, DcId dst, const LinkParams& params);
+
+  /// Starts/stops a partition between two DCs (messages silently dropped).
+  void SetPartitioned(DcId a, DcId b, bool partitioned);
+
+  /// Injects degradation (latency spike) on every link touching `dc`.
+  void SetDegradation(DcId dc, const DcDegradation& degradation);
+  void ClearDegradation(DcId dc);
+
+  /// Sends `deliver` from `src` to `dst`; it runs after the sampled one-way
+  /// delay unless the message is lost or the DCs are partitioned.
+  /// Self-sends (src == dst node) are delivered after the intra-DC delay.
+  void Send(NodeId src, NodeId dst, std::function<void()> deliver);
+
+  /// Samples what the one-way latency would be right now (no send).
+  Duration SampleLatency(DcId src, DcId dst);
+
+  /// Introspection for experiments.
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_retransmitted() const { return messages_retransmitted_; }
+
+ private:
+  const LinkParams& LinkFor(DcId src, DcId dst) const;
+
+  Simulator* sim_;
+  Rng rng_;
+  std::vector<DcId> node_dc_;
+  std::map<std::pair<DcId, DcId>, LinkParams> links_;
+  std::map<std::pair<DcId, DcId>, bool> partitioned_;
+  std::map<DcId, DcDegradation> degradation_;
+  LinkParams default_link_;
+  uint64_t messages_sent_;
+  uint64_t messages_dropped_;
+  uint64_t messages_retransmitted_;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_SIM_NETWORK_H_

@@ -1,0 +1,68 @@
+// Base class for simulated processes (replicas, masters, clients).
+#ifndef PLANET_SIM_NODE_H_
+#define PLANET_SIM_NODE_H_
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace planet {
+
+/// A process pinned to a data center. Subclasses exchange messages through
+/// the Network by capturing `this` in delivery closures; the simulator's
+/// single-threadedness makes that safe.
+class Node {
+ public:
+  Node(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng)
+      : sim_(sim), net_(net), id_(id), dc_(dc), rng_(rng) {
+    net_->RegisterNode(id, dc);
+  }
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  DcId dc() const { return dc_; }
+  SimTime Now() const { return sim_->Now(); }
+  Simulator* simulator() const { return sim_; }
+  Network* network() const { return net_; }
+
+  /// Cumulative CPU time consumed through Serve().
+  Duration busy_time() const { return busy_time_; }
+
+  /// Fraction of simulated time this node's CPU was busy.
+  double Utilization() const {
+    return Now() == 0 ? 0.0
+                      : double(busy_time_) / double(Now());
+  }
+
+ protected:
+  /// Runs `fn` after this node's serial service queue drains, consuming
+  /// `cost` of CPU time — the model for per-message processing cost, which
+  /// makes nodes saturable (queueing delay explodes as the arrival rate
+  /// approaches 1/cost). cost <= 0 runs `fn` inline (infinite capacity).
+  void Serve(Duration cost, std::function<void()> fn) {
+    if (cost <= 0) {
+      fn();
+      return;
+    }
+    SimTime start = std::max(Now(), busy_until_);
+    busy_until_ = start + cost;
+    busy_time_ += cost;
+    sim_->ScheduleAt(busy_until_, std::move(fn));
+  }
+
+  SimTime busy_until_ = 0;
+  Duration busy_time_ = 0;
+  Simulator* sim_;
+  Network* net_;
+  NodeId id_;
+  DcId dc_;
+  Rng rng_;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_SIM_NODE_H_

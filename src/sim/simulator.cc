@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+namespace planet {
+
+Simulator::Simulator() : now_(0), next_id_(1), events_processed_(0) {}
+
+EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  PLANET_CHECK_MSG(delay >= 0, "delay=" << delay);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  PLANET_CHECK_MSG(when >= now_, "when=" << when << " now=" << now_);
+  EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  // Only live (scheduled, not yet fired) events can be cancelled.
+  return live_.erase(id) > 0;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (live_.erase(ev.id) == 0) continue;  // cancelled: skip
+    PLANET_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  PLANET_CHECK(t >= now_);
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (live_.count(top.id) == 0) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    if (top.time > t) break;
+    Step();
+  }
+  now_ = t;
+}
+
+void Simulator::InstallLogTimeSource() {
+  logging::SetTimeSource([this] { return now_; });
+}
+
+}  // namespace planet

@@ -1,0 +1,194 @@
+#include "storage/store.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace planet {
+
+std::string WriteOption::ToString() const {
+  std::ostringstream oss;
+  oss << "option{txn=" << txn << " key=" << key;
+  if (kind == OptionKind::kPhysical) {
+    oss << " v" << read_version << "->" << new_value;
+  } else {
+    oss << " delta=" << delta;
+  }
+  oss << "}";
+  return oss.str();
+}
+
+const Store::Record* Store::Find(Key key) const {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+Store::Record& Store::FindOrCreate(Key key) { return records_[key]; }
+
+RecordView Store::Read(Key key) const {
+  const Record* rec = Find(key);
+  if (rec == nullptr) return RecordView{};
+  return RecordView{rec->version, rec->value};
+}
+
+void Store::SeedValue(Key key, Value value) {
+  Record& rec = FindOrCreate(key);
+  ++rec.version;
+  rec.value = value;
+}
+
+void Store::SetBounds(Key key, ValueBounds bounds) {
+  Record& rec = FindOrCreate(key);
+  rec.bounds = bounds;
+  rec.has_bounds = true;
+}
+
+Status Store::CheckOption(const WriteOption& option) const {
+  static const Record kEmpty{};
+  const Record* found = Find(option.key);
+  const Record& rec = found != nullptr ? *found : kEmpty;
+
+  if (option.kind == OptionKind::kPhysical) {
+    if (option.read_version != rec.version) {
+      ++rejects_stale_;
+      return Status::Aborted("stale read version");
+    }
+    for (const WriteOption& p : rec.pending) {
+      if (p.txn != option.txn) {
+        ++rejects_conflict_;
+        return Status::FailedPrecondition("pending option conflict");
+      }
+    }
+    return Status::OK();
+  }
+
+  // Commutative: conflicts only with pending *physical* options of other
+  // transactions; versions are irrelevant; demarcation bounds must hold under
+  // the worst-case interleaving of already-pending deltas.
+  Value pess = rec.value;  // worst case for the lower bound
+  Value opt = rec.value;   // worst case for the upper bound
+  for (const WriteOption& p : rec.pending) {
+    if (p.txn == option.txn) continue;
+    if (p.kind == OptionKind::kPhysical) {
+      ++rejects_conflict_;
+      return Status::FailedPrecondition("pending physical option conflict");
+    }
+    pess += std::min<Value>(0, p.delta);
+    opt += std::max<Value>(0, p.delta);
+  }
+  pess += std::min<Value>(0, option.delta);
+  opt += std::max<Value>(0, option.delta);
+  if (rec.has_bounds && (pess < rec.bounds.lower || opt > rec.bounds.upper)) {
+    ++rejects_bounds_;
+    return Status::Aborted("demarcation bounds violated");
+  }
+  return Status::OK();
+}
+
+void Store::AcceptOption(const WriteOption& option) {
+  Status st = CheckOption(option);
+  PLANET_CHECK_MSG(st.ok(), option.ToString() << " -> " << st.ToString());
+  Record& rec = FindOrCreate(option.key);
+  // Idempotent per (txn, key): replace any previous pending entry.
+  std::erase_if(rec.pending, [&](const WriteOption& p) {
+    return p.txn == option.txn;
+  });
+  rec.pending.push_back(option);
+  ++accepts_;
+}
+
+void Store::RemoveOption(TxnId txn, Key key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return;
+  std::erase_if(it->second.pending,
+                [&](const WriteOption& p) { return p.txn == txn; });
+}
+
+void Store::ApplyPayload(Record& rec, const WriteOption& option) {
+  if (option.kind == OptionKind::kPhysical) {
+    // Physical transitions advance the per-key version chain; replicas apply
+    // them in version order so the chain (and final state) is identical
+    // everywhere.
+    ++rec.version;
+    rec.value = option.new_value;
+  } else {
+    // Commutative deltas do not touch the version: addition commutes, so
+    // replicas converge regardless of delivery order.
+    rec.value += option.delta;
+    ++rec.deltas_applied;
+  }
+  wal_.push_back(WalEntry{option.txn, option.key, rec.version, rec.value});
+}
+
+bool Store::ApplyOption(TxnId txn, Key key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return false;
+  Record& rec = it->second;
+  auto pit = std::find_if(
+      rec.pending.begin(), rec.pending.end(),
+      [&](const WriteOption& p) { return p.txn == txn; });
+  if (pit == rec.pending.end()) return false;
+  WriteOption option = *pit;
+  rec.pending.erase(pit);
+  ApplyPayload(rec, option);
+  return true;
+}
+
+void Store::LearnOption(const WriteOption& option) {
+  Record& rec = FindOrCreate(option.key);
+  std::erase_if(rec.pending, [&](const WriteOption& p) {
+    return p.txn == option.txn;
+  });
+  ApplyPayload(rec, option);
+}
+
+size_t Store::TotalPending() const {
+  size_t total = 0;
+  for (const auto& [key, rec] : records_) total += rec.pending.size();
+  return total;
+}
+
+std::vector<WriteOption> Store::PendingFor(Key key) const {
+  const Record* rec = Find(key);
+  return rec != nullptr ? rec->pending : std::vector<WriteOption>{};
+}
+
+std::vector<SyncEntry> Store::ExportState() const {
+  std::vector<SyncEntry> state;
+  state.reserve(records_.size());
+  for (const auto& [key, rec] : records_) {
+    state.push_back(SyncEntry{key, rec.version, rec.value,
+                              rec.deltas_applied});
+  }
+  return state;
+}
+
+bool Store::AdoptRecord(const SyncEntry& entry) {
+  Record& rec = FindOrCreate(entry.key);
+  bool fresher = entry.version > rec.version ||
+                 (entry.version == rec.version &&
+                  entry.deltas_applied > rec.deltas_applied);
+  if (!fresher) return false;
+  rec.version = entry.version;
+  rec.value = entry.value;
+  rec.deltas_applied = entry.deltas_applied;
+  wal_.push_back(WalEntry{kInvalidTxnId, entry.key, rec.version, rec.value});
+  return true;
+}
+
+std::map<Key, RecordView> Store::Snapshot() const {
+  std::map<Key, RecordView> snapshot;
+  for (const auto& [key, rec] : records_) {
+    // Records still in their logical default state (never committed to) are
+    // omitted: whether a replica materialized such a record is an artifact
+    // of aborted accepts, not a semantic difference.
+    if (rec.version == 0 && rec.value == 0 && rec.deltas_applied == 0) {
+      continue;
+    }
+    snapshot[key] = RecordView{rec.version, rec.value};
+  }
+  return snapshot;
+}
+
+}  // namespace planet

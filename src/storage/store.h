@@ -1,0 +1,142 @@
+// Per-replica versioned record store (the acceptor's durable state).
+//
+// Every key logically exists with (version 0, value 0); records materialize
+// on first touch. A record carries its committed state plus the list of
+// pending (accepted but not yet visible) options, which is exactly the
+// acceptor state of the per-record Paxos instance. A write-ahead log of
+// applied transitions supports the atomicity audits in the test suite.
+#ifndef PLANET_STORAGE_STORE_H_
+#define PLANET_STORAGE_STORE_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/option.h"
+
+namespace planet {
+
+/// Committed state of a record as seen by readers.
+struct RecordView {
+  Version version = 0;
+  Value value = 0;
+
+  bool operator==(const RecordView&) const = default;
+};
+
+/// Demarcation bounds for commutative updates on a key.
+struct ValueBounds {
+  Value lower = 0;
+  Value upper = std::numeric_limits<Value>::max();
+};
+
+/// One entry of the (in-memory) write-ahead log: a record transition applied
+/// at visibility time.
+struct WalEntry {
+  TxnId txn;
+  Key key;
+  Version new_version;
+  Value new_value;
+};
+
+/// One record's committed state as shipped by anti-entropy sync.
+/// `deltas_applied` counts committed commutative deltas (they do not bump
+/// the version, so it is the freshness signal for counter records).
+struct SyncEntry {
+  Key key = 0;
+  Version version = 0;
+  Value value = 0;
+  uint64_t deltas_applied = 0;
+};
+
+/// The store. Single-owner (one per replica node), not thread safe.
+class Store {
+ public:
+  Store() = default;
+
+  /// Committed view of a key (version 0 / value 0 if never written).
+  RecordView Read(Key key) const;
+
+  /// Seeds a committed value without going through the protocol (workload
+  /// initialisation). Bumps the version.
+  void SeedValue(Key key, Value value);
+
+  /// Sets demarcation bounds enforced on commutative options for `key`.
+  void SetBounds(Key key, ValueBounds bounds);
+
+  /// Would `option` be accepted right now? OK, or the rejection reason:
+  ///  * kAborted          — stale read version (physical) / bounds violated
+  ///  * kFailedPrecondition — conflicts with a pending option of another txn
+  Status CheckOption(const WriteOption& option) const;
+
+  /// Accepts `option` (appends to the pending list). Idempotent per
+  /// (txn, key): re-accepting replaces the previous pending entry.
+  /// PLANET_CHECKs that CheckOption would pass.
+  void AcceptOption(const WriteOption& option);
+
+  /// Drops the pending option of (txn, key) if present (abort / learn-other).
+  void RemoveOption(TxnId txn, Key key);
+
+  /// Makes the pending option of (txn, key) visible: bumps the version,
+  /// applies the payload, removes it from pending, logs to the WAL.
+  /// Returns false if no such pending option exists (e.g. this replica never
+  /// accepted it); callers treat that as "learned decision without having
+  /// voted" and apply the transition directly via LearnOption.
+  bool ApplyOption(TxnId txn, Key key);
+
+  /// Applies a decided option this replica never accepted (catch-up path).
+  /// Physical payloads overwrite; commutative payloads add.
+  void LearnOption(const WriteOption& option);
+
+  /// Number of pending options across all records.
+  size_t TotalPending() const;
+
+  /// Pending options of one key (empty if none).
+  std::vector<WriteOption> PendingFor(Key key) const;
+
+  /// Snapshot of all materialized committed records (tests / audits).
+  std::map<Key, RecordView> Snapshot() const;
+
+  /// Exports every materialized record for anti-entropy sync.
+  std::vector<SyncEntry> ExportState() const;
+
+  /// Adopts a peer's committed record state if it is fresher than ours:
+  /// higher version, or equal version with more commutative deltas applied.
+  /// Returns true if the local state changed. Pending options are untouched.
+  bool AdoptRecord(const SyncEntry& entry);
+
+  const std::vector<WalEntry>& wal() const { return wal_; }
+
+  /// Counters for experiments.
+  uint64_t accepts() const { return accepts_; }
+  uint64_t rejects_stale() const { return rejects_stale_; }
+  uint64_t rejects_conflict() const { return rejects_conflict_; }
+  uint64_t rejects_bounds() const { return rejects_bounds_; }
+
+ private:
+  struct Record {
+    Version version = 0;
+    Value value = 0;
+    uint64_t deltas_applied = 0;  ///< committed commutative deltas
+    ValueBounds bounds;
+    bool has_bounds = false;
+    std::vector<WriteOption> pending;
+  };
+
+  const Record* Find(Key key) const;
+  Record& FindOrCreate(Key key);
+  void ApplyPayload(Record& rec, const WriteOption& option);
+
+  std::unordered_map<Key, Record> records_;
+  std::vector<WalEntry> wal_;
+  uint64_t accepts_ = 0;
+  mutable uint64_t rejects_stale_ = 0;
+  mutable uint64_t rejects_conflict_ = 0;
+  mutable uint64_t rejects_bounds_ = 0;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_STORAGE_STORE_H_

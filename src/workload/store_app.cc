@@ -1,0 +1,233 @@
+#include "workload/store_app.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace planet {
+
+const char* StoreTxnTypeName(StoreTxnType type) {
+  switch (type) {
+    case StoreTxnType::kBrowse:
+      return "browse";
+    case StoreTxnType::kAddToCart:
+      return "add-to-cart";
+    case StoreTxnType::kCheckout:
+      return "checkout";
+    case StoreTxnType::kUpdateProfile:
+      return "update-profile";
+  }
+  return "?";
+}
+
+void SeedStore(const StoreAppConfig& config,
+               const std::function<void(Key, Value)>& seed_value,
+               const std::function<void(Key, ValueBounds)>& seed_bounds) {
+  StoreSchema schema(config);
+  for (uint64_t p = 0; p < config.num_products; ++p) {
+    seed_value(schema.Product(p), config.initial_stock);
+    seed_bounds(schema.Product(p),
+                ValueBounds{0, std::numeric_limits<Value>::max()});
+  }
+}
+
+namespace {
+
+/// Mutable state shared by all invocations of one runner.
+struct AppCore {
+  AppCore(PlanetClient* client, const StoreAppConfig& config, Rng rng,
+          StoreAppStats* stats, PlanetRunnerPolicy policy)
+      : client(client),
+        schema(config),
+        rng(rng),
+        stats(stats),
+        policy(policy),
+        product_zipf(config.num_products, config.product_zipf_theta) {}
+
+  PlanetClient* client;
+  StoreSchema schema;
+  Rng rng;
+  StoreAppStats* stats;
+  PlanetRunnerPolicy policy;
+  ZipfGenerator product_zipf;
+  // Unique cluster-wide order sequence: namespaced by the client's node id.
+  uint64_t next_order = 1;
+  uint64_t OrderSeq() {
+    return (uint64_t(client->db()->id()) << 32) | next_order++;
+  }
+
+  StoreTxnType DrawType() {
+    const auto& w = schema.config.weights;
+    double total = 0;
+    for (double x : w) total += x;
+    double u = rng.NextDouble() * total;
+    for (int i = 0; i < kNumStoreTxnTypes; ++i) {
+      if (u < w[size_t(i)]) return static_cast<StoreTxnType>(i);
+      u -= w[size_t(i)];
+    }
+    return StoreTxnType::kBrowse;
+  }
+
+  uint64_t DrawUser() { return rng.Next() % schema.config.num_users; }
+  uint64_t DrawProduct(std::vector<uint64_t>* taken) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      uint64_t p = product_zipf.Next(rng);
+      if (std::find(taken->begin(), taken->end(), p) == taken->end()) {
+        taken->push_back(p);
+        return p;
+      }
+    }
+    uint64_t p = (taken->empty() ? 0 : taken->back() + 1) %
+                 schema.config.num_products;
+    taken->push_back(p);
+    return p;
+  }
+};
+
+/// Books the final outcome into the per-type stats and the driver result.
+void Finish(AppCore* core, StoreTxnType type, SimTime begin,
+            const Outcome& user, Status final_status,
+            const std::function<void(TxnResult)>& done) {
+  SimTime now = core->client->db()->Now();
+  auto& t = core->stats->For(type);
+  if (final_status.ok()) {
+    ++t.committed;
+  } else if (final_status.IsRejected()) {
+    ++t.rejected;
+  } else {
+    ++t.aborted;
+  }
+  t.latency.Record(now - begin);
+  t.user_latency.Record(user.user_latency > 0 ? user.user_latency
+                                              : now - begin);
+  if (user.speculative) ++t.speculative;
+
+  TxnResult result;
+  result.status = final_status;
+  result.latency = now - begin;
+  result.user_latency = user.user_latency > 0 ? user.user_latency
+                                              : result.latency;
+  result.speculative = user.speculative;
+  done(result);
+}
+
+/// Shared plumbing: arm the policy, capture the user outcome, finish on the
+/// definitive outcome.
+struct TxnShell {
+  SimTime begin;
+  Outcome user;
+};
+
+std::shared_ptr<TxnShell> Arm(AppCore* core, PlanetTransaction& txn,
+                              StoreTxnType type,
+                              std::function<void(TxnResult)> done) {
+  auto shell = std::make_shared<TxnShell>();
+  shell->begin = core->client->db()->Now();
+  ++core->stats->For(type).issued;
+  const PlanetRunnerPolicy& policy = core->policy;
+  if (policy.speculation_deadline > 0 && type != StoreTxnType::kBrowse) {
+    txn.WithTimeout(policy.speculation_deadline,
+                    [policy](PlanetTransaction& t) {
+                      if (policy.speculate_threshold < 0) return;
+                      if (t.CommitLikelihood() >= policy.speculate_threshold) {
+                        t.Speculate();
+                      } else if (policy.give_up_below) {
+                        t.GiveUp();
+                      }
+                    });
+  }
+  txn.OnFinal([core, type, shell, done = std::move(done)](Status status) {
+    Finish(core, type, shell->begin, shell->user, status, done);
+  });
+  return shell;
+}
+
+void RunBrowse(AppCore* core, std::function<void(TxnResult)> done) {
+  PlanetTransaction txn = core->client->Begin();
+  auto shell = Arm(core, txn, StoreTxnType::kBrowse, std::move(done));
+  std::vector<uint64_t> products;
+  auto remaining =
+      std::make_shared<int>(core->schema.config.browse_reads);
+  for (int i = 0; i < core->schema.config.browse_reads; ++i) {
+    Key key = core->schema.Product(core->DrawProduct(&products));
+    txn.Read(key, [txn, shell, remaining](Status st, Value) mutable {
+      PLANET_CHECK(st.ok());
+      if (--(*remaining) == 0) {
+        txn.Commit([shell](const Outcome& o) { shell->user = o; });
+      }
+    });
+  }
+}
+
+void RunAddToCart(AppCore* core, std::function<void(TxnResult)> done) {
+  PlanetTransaction txn = core->client->Begin();
+  auto shell = Arm(core, txn, StoreTxnType::kAddToCart, std::move(done));
+  Key cart = core->schema.Cart(core->DrawUser());
+  txn.Read(cart, [txn, cart, shell](Status st, Value v) mutable {
+    PLANET_CHECK(st.ok());
+    PLANET_CHECK(txn.Write(cart, v + 1).ok());
+    txn.Commit([shell](const Outcome& o) { shell->user = o; });
+  });
+}
+
+void RunCheckout(AppCore* core, std::function<void(TxnResult)> done) {
+  PlanetTransaction txn = core->client->Begin();
+  auto shell = Arm(core, txn, StoreTxnType::kCheckout, std::move(done));
+  Key cart = core->schema.Cart(core->DrawUser());
+  Key order = core->schema.Order(core->OrderSeq());
+  std::vector<uint64_t> products;
+  for (int i = 0; i < core->schema.config.checkout_items; ++i) {
+    core->DrawProduct(&products);
+  }
+  // Commutative stock decrements: hot products do not conflict, and the
+  // demarcation bound rejects the checkout if stock would go negative.
+  for (uint64_t p : products) {
+    PLANET_CHECK(txn.Add(core->schema.Product(p), -1).ok());
+  }
+  PLANET_CHECK(txn.Add(order, 1).ok());
+  txn.Read(cart, [txn, cart, shell](Status st, Value v) mutable {
+    PLANET_CHECK(st.ok());
+    PLANET_CHECK(txn.Write(cart, 0).ok());  // empty the cart
+    (void)v;
+    txn.Commit([shell](const Outcome& o) { shell->user = o; });
+  });
+}
+
+void RunUpdateProfile(AppCore* core, std::function<void(TxnResult)> done) {
+  PlanetTransaction txn = core->client->Begin();
+  auto shell = Arm(core, txn, StoreTxnType::kUpdateProfile, std::move(done));
+  Key profile = core->schema.Profile(core->DrawUser());
+  txn.Read(profile, [txn, profile, shell](Status st, Value v) mutable {
+    PLANET_CHECK(st.ok());
+    PLANET_CHECK(txn.Write(profile, v + 1).ok());
+    txn.Commit([shell](const Outcome& o) { shell->user = o; });
+  });
+}
+
+}  // namespace
+
+TxnRunner MakeStoreAppRunner(PlanetClient* client,
+                             const StoreAppConfig& config, Rng rng,
+                             StoreAppStats* stats, PlanetRunnerPolicy policy) {
+  PLANET_CHECK(stats != nullptr);
+  auto core = std::make_shared<AppCore>(client, config, rng, stats, policy);
+  return [core](std::function<void(TxnResult)> done) {
+    switch (core->DrawType()) {
+      case StoreTxnType::kBrowse:
+        RunBrowse(core.get(), std::move(done));
+        break;
+      case StoreTxnType::kAddToCart:
+        RunAddToCart(core.get(), std::move(done));
+        break;
+      case StoreTxnType::kCheckout:
+        RunCheckout(core.get(), std::move(done));
+        break;
+      case StoreTxnType::kUpdateProfile:
+        RunUpdateProfile(core.get(), std::move(done));
+        break;
+    }
+  };
+}
+
+}  // namespace planet

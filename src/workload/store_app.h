@@ -1,0 +1,94 @@
+// An interactive web-store application mix — the workload family PLANET's
+// introduction motivates (interactive apps over geo-replicated data).
+//
+// Four transaction types with configurable weights:
+//   * kBrowse        read-only: look at a few products;
+//   * kAddToCart     single-key RMW on the user's cart row;
+//   * kCheckout      multi-key: cart row (physical) + commutative stock
+//                    decrements on the ordered products (demarcation-bounded)
+//                    + a unique order row;
+//   * kUpdateProfile single-key RMW on the user's profile row.
+// Product popularity is zipfian (hot items create real contention on
+// checkout), carts/profiles are per-user (uncontended).
+#ifndef PLANET_WORKLOAD_STORE_APP_H_
+#define PLANET_WORKLOAD_STORE_APP_H_
+
+#include <array>
+
+#include <functional>
+
+#include "workload/runners.h"
+#include "workload/workload.h"
+
+namespace planet {
+
+/// Transaction types of the store mix.
+enum class StoreTxnType { kBrowse = 0, kAddToCart, kCheckout, kUpdateProfile };
+inline constexpr int kNumStoreTxnTypes = 4;
+const char* StoreTxnTypeName(StoreTxnType type);
+
+/// Configuration of the store application.
+struct StoreAppConfig {
+  uint64_t num_products = 1000;
+  uint64_t num_users = 10000;
+  double product_zipf_theta = 0.9;  ///< hot products
+  int browse_reads = 4;
+  int checkout_items = 2;
+
+  /// Mix weights (normalized internally).
+  std::array<double, kNumStoreTxnTypes> weights = {0.55, 0.25, 0.15, 0.05};
+
+  /// Initial stock per product (seeded; demarcation lower bound 0).
+  Value initial_stock = 1000000;
+};
+
+/// Key layout of the store schema.
+struct StoreSchema {
+  explicit StoreSchema(const StoreAppConfig& config) : config(config) {}
+  Key Product(uint64_t i) const { return i; }
+  Key Cart(uint64_t user) const { return config.num_products + user; }
+  Key Profile(uint64_t user) const {
+    return config.num_products + config.num_users + user;
+  }
+  Key Order(uint64_t seq) const {
+    return config.num_products + 2 * config.num_users + seq;
+  }
+  StoreAppConfig config;
+};
+
+/// Per-type outcome statistics.
+struct StoreAppStats {
+  struct PerType {
+    uint64_t issued = 0;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t rejected = 0;
+    Histogram latency;       ///< definitive
+    Histogram user_latency;  ///< first user notification
+    uint64_t speculative = 0;
+  };
+  std::array<PerType, kNumStoreTxnTypes> by_type;
+
+  PerType& For(StoreTxnType type) {
+    return by_type[static_cast<size_t>(type)];
+  }
+};
+
+/// Seeds product stock and demarcation bounds through the given callbacks
+/// (e.g. Cluster::SeedKey / Cluster::SeedBounds), keeping this module free
+/// of a harness dependency.
+void SeedStore(const StoreAppConfig& config,
+               const std::function<void(Key, Value)>& seed_value,
+               const std::function<void(Key, ValueBounds)>& seed_bounds);
+
+/// Builds a TxnRunner that draws from the mix. `stats` must outlive the
+/// runner. The PLANET policy (speculation deadline etc.) applies to the
+/// write transactions; browse transactions are read-only.
+TxnRunner MakeStoreAppRunner(PlanetClient* client,
+                             const StoreAppConfig& config, Rng rng,
+                             StoreAppStats* stats,
+                             PlanetRunnerPolicy policy = {});
+
+}  // namespace planet
+
+#endif  // PLANET_WORKLOAD_STORE_APP_H_

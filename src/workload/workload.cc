@@ -1,0 +1,112 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace planet {
+
+KeyChooser::KeyChooser(const WorkloadConfig& config)
+    : config_(config),
+      zipf_(config.num_keys,
+            config.dist == KeyDist::kZipf ? config.zipf_theta : 0.0) {
+  PLANET_CHECK(config.num_keys >= 1);
+}
+
+Key KeyChooser::Next(Rng& rng) const {
+  switch (config_.dist) {
+    case KeyDist::kUniform:
+      return rng.Next() % config_.num_keys;
+    case KeyDist::kZipf:
+      return zipf_.Next(rng);
+    case KeyDist::kHotspot: {
+      uint64_t hot = std::min(config_.hot_keys, config_.num_keys);
+      if (hot > 0 && rng.Bernoulli(config_.hot_fraction)) {
+        return rng.Next() % hot;
+      }
+      uint64_t cold = config_.num_keys - hot;
+      if (cold == 0) return rng.Next() % config_.num_keys;
+      return hot + rng.Next() % cold;
+    }
+  }
+  return 0;
+}
+
+std::vector<Key> KeyChooser::NextDistinct(Rng& rng, int n) const {
+  PLANET_CHECK(n >= 0);
+  PLANET_CHECK_MSG(static_cast<uint64_t>(n) <= config_.num_keys,
+                   "cannot draw " << n << " distinct of " << config_.num_keys);
+  std::vector<Key> keys;
+  keys.reserve(static_cast<size_t>(n));
+  int attempts = 0;
+  while (static_cast<int>(keys.size()) < n) {
+    Key k = Next(rng);
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+      keys.push_back(k);
+    } else if (++attempts > 64 * n) {
+      // Pathologically small effective key space (e.g. 1 hot key with
+      // hot_fraction 1): fall back to sequential fill.
+      for (Key k2 = 0; static_cast<int>(keys.size()) < n; ++k2) {
+        if (std::find(keys.begin(), keys.end(), k2) == keys.end()) {
+          keys.push_back(k2);
+        }
+      }
+    }
+  }
+  return keys;
+}
+
+LoadGenerator::LoadGenerator(Simulator* sim, Rng rng, TxnRunner runner,
+                             Options options)
+    : sim_(sim), rng_(rng), runner_(std::move(runner)), options_(options) {
+  PLANET_CHECK(sim != nullptr);
+}
+
+void LoadGenerator::SetResultSink(std::function<void(const TxnResult&)> sink) {
+  sink_ = std::move(sink);
+}
+
+void LoadGenerator::Start(SimTime end_time) {
+  end_time_ = end_time;
+  if (options_.rate_per_sec > 0) {
+    ScheduleNextArrival();
+  } else {
+    IssueClosedLoop();
+  }
+}
+
+void LoadGenerator::RunOne() {
+  ++issued_;
+  runner_([this](TxnResult result) {
+    ++finished_;
+    if (sink_) sink_(result);
+    if (options_.rate_per_sec <= 0) {
+      // Closed loop: think, then go again.
+      if (options_.think_time_mean > 0) {
+        Duration think = static_cast<Duration>(
+            rng_.Exponential(static_cast<double>(options_.think_time_mean)));
+        sim_->Schedule(think, [this] { IssueClosedLoop(); });
+      } else {
+        IssueClosedLoop();
+      }
+    }
+  });
+}
+
+void LoadGenerator::IssueClosedLoop() {
+  if (sim_->Now() >= end_time_) return;
+  RunOne();
+}
+
+void LoadGenerator::ScheduleNextArrival() {
+  double mean_gap_us = 1e6 / options_.rate_per_sec;
+  Duration gap = static_cast<Duration>(rng_.Exponential(mean_gap_us));
+  SimTime next = sim_->Now() + gap;
+  if (next >= end_time_) return;
+  sim_->ScheduleAt(next, [this] {
+    RunOne();
+    ScheduleNextArrival();
+  });
+}
+
+}  // namespace planet

@@ -1,0 +1,105 @@
+// Workload generation: key distributions, transaction mixes, and load
+// generators (closed-loop client populations and open-loop Poisson arrivals).
+#ifndef PLANET_WORKLOAD_WORKLOAD_H_
+#define PLANET_WORKLOAD_WORKLOAD_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace planet {
+
+/// How keys are drawn for each access.
+enum class KeyDist {
+  kUniform,
+  kZipf,     ///< YCSB-style zipfian over the whole key space
+  kHotspot,  ///< `hot_fraction` of accesses hit the first `hot_keys` keys
+};
+
+/// Shape of the transactions a driver issues.
+struct WorkloadConfig {
+  uint64_t num_keys = 100000;
+  KeyDist dist = KeyDist::kUniform;
+  double zipf_theta = 0.99;
+  uint64_t hot_keys = 100;
+  double hot_fraction = 0.9;
+
+  /// Keys read but not written per transaction.
+  int reads_per_txn = 2;
+  /// Keys read-modify-written per transaction (value := value + 1).
+  int writes_per_txn = 2;
+  /// Use commutative Add options instead of physical RMW writes.
+  bool commutative = false;
+};
+
+/// Draws distinct keys according to the configured distribution.
+class KeyChooser {
+ public:
+  explicit KeyChooser(const WorkloadConfig& config);
+
+  /// One key.
+  Key Next(Rng& rng) const;
+
+  /// `n` distinct keys (resamples on collision; n must be << num_keys for
+  /// uniform/zipf; for tiny hotspot sets it falls back to scanning).
+  std::vector<Key> NextDistinct(Rng& rng, int n) const;
+
+ private:
+  WorkloadConfig config_;
+  ZipfGenerator zipf_;
+};
+
+/// Outcome of one driven transaction, as a workload driver sees it.
+struct TxnResult {
+  Status status;
+  Duration latency = 0;       ///< begin -> definitive outcome
+  Duration user_latency = 0;  ///< begin -> first user notification
+  bool speculative = false;   ///< user notification was a speculation
+};
+
+/// A function that runs one transaction and reports its result exactly once.
+using TxnRunner = std::function<void(std::function<void(TxnResult)>)>;
+
+/// Drives a TxnRunner either closed-loop (one outstanding transaction per
+/// generator, optional exponential think time) or open-loop (Poisson
+/// arrivals at `rate_per_sec`, possibly many outstanding).
+class LoadGenerator {
+ public:
+  struct Options {
+    Duration think_time_mean = 0;  ///< closed loop: mean think time
+    double rate_per_sec = 0;       ///< > 0 switches to open loop
+  };
+
+  LoadGenerator(Simulator* sim, Rng rng, TxnRunner runner, Options options);
+
+  /// Starts issuing transactions until `end_time` (simulated).
+  void Start(SimTime end_time);
+
+  uint64_t issued() const { return issued_; }
+  uint64_t finished() const { return finished_; }
+
+  /// Installs a sink that sees every TxnResult (metrics collection).
+  void SetResultSink(std::function<void(const TxnResult&)> sink);
+
+ private:
+  void IssueClosedLoop();
+  void ScheduleNextArrival();
+  void RunOne();
+
+  Simulator* sim_;
+  Rng rng_;
+  TxnRunner runner_;
+  Options options_;
+  SimTime end_time_ = 0;
+  uint64_t issued_ = 0;
+  uint64_t finished_ = 0;
+  std::function<void(const TxnResult&)> sink_;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,152 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace planet {
+namespace {
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.CdfAt(100), 1.0);  // vacuous
+  EXPECT_EQ(h.TailAt(100), 0.0);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.Mean(), 1000.0);
+  // Percentiles land within bucket resolution (~5%).
+  EXPECT_NEAR(h.Percentile(50), 1000, 60);
+  EXPECT_NEAR(h.Percentile(99), 1000, 60);
+}
+
+TEST(Histogram, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, PercentileOrdering) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(rng.Exponential(5000.0)));
+  }
+  EXPECT_LE(h.Percentile(10), h.Percentile(50));
+  EXPECT_LE(h.Percentile(50), h.Percentile(95));
+  EXPECT_LE(h.Percentile(95), h.Percentile(99.9));
+  EXPECT_LE(h.Percentile(100), h.max());
+}
+
+TEST(Histogram, PercentileAccuracyUniform) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100000; ++v) h.Record(v);
+  // 4.5% bucket resolution.
+  EXPECT_NEAR(h.Percentile(50), 50000, 50000 * 0.06);
+  EXPECT_NEAR(h.Percentile(90), 90000, 90000 * 0.06);
+  EXPECT_NEAR(h.Percentile(99), 99000, 99000 * 0.06);
+}
+
+TEST(Histogram, CdfMonotoneAndConsistent) {
+  Histogram h;
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    h.Record(static_cast<int64_t>(rng.Lognormal(40000, 0.4)));
+  }
+  double prev = 0.0;
+  for (int64_t v = 0; v <= 400000; v += 10000) {
+    double c = h.CdfAt(v);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  // CDF at the p50 estimate should be near 0.5.
+  EXPECT_NEAR(h.CdfAt(h.Percentile(50)), 0.5, 0.08);
+  // Tail + CDF == 1.
+  EXPECT_DOUBLE_EQ(h.CdfAt(70000) + h.TailAt(70000), 1.0);
+}
+
+TEST(Histogram, MergeEqualsUnion) {
+  Histogram a, b, all;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Exponential(1000.0));
+    (i % 2 == 0 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), all.Mean());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_EQ(a.Percentile(p), all.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeIntoEmpty) {
+  Histogram a, b;
+  b.Record(123);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 123);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(Histogram, HugeValuesSaturateLastBucket) {
+  Histogram h;
+  h.Record(int64_t{1} << 62);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.Percentile(50), 0);
+}
+
+TEST(Histogram, SummaryMentionsPercentiles) {
+  Histogram h;
+  h.Record(1000);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("p50"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 100; ++i) e.Observe(0.7);
+  EXPECT_NEAR(e.value(), 0.7, 1e-9);
+  EXPECT_EQ(e.observations(), 100u);
+}
+
+TEST(Ewma, FirstObservationSetsValue) {
+  Ewma e(0.01, 0.0);
+  e.Observe(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 1.0);
+}
+
+TEST(Ewma, TracksShift) {
+  Ewma e(0.3);
+  for (int i = 0; i < 50; ++i) e.Observe(0.0);
+  for (int i = 0; i < 50; ++i) e.Observe(1.0);
+  EXPECT_GT(e.value(), 0.95);
+}
+
+}  // namespace
+}  // namespace planet

@@ -1,0 +1,148 @@
+// Tests of the harness: WAN presets, cluster wiring, partition helpers,
+// metrics aggregation, and the table printer.
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+
+namespace planet {
+namespace {
+
+TEST(Wan, FiveDcPresetIsSymmetricAndComplete) {
+  WanPreset preset = FiveDcWan();
+  ASSERT_EQ(preset.num_dcs(), 5);
+  ASSERT_EQ(preset.one_way_ms.size(), 5u);
+  for (int a = 0; a < 5; ++a) {
+    ASSERT_EQ(preset.one_way_ms[size_t(a)].size(), 5u);
+    EXPECT_EQ(preset.one_way_ms[size_t(a)][size_t(a)], 0.0);
+    for (int b = 0; b < 5; ++b) {
+      EXPECT_EQ(preset.one_way_ms[size_t(a)][size_t(b)],
+                preset.one_way_ms[size_t(b)][size_t(a)]);
+      if (a != b) {
+        EXPECT_GE(preset.one_way_ms[size_t(a)][size_t(b)], 30.0);
+        EXPECT_LE(preset.one_way_ms[size_t(a)][size_t(b)], 150.0);
+      }
+    }
+  }
+}
+
+TEST(Wan, UniformPreset) {
+  WanPreset preset = UniformWan(3, 25.0);
+  EXPECT_EQ(preset.num_dcs(), 3);
+  EXPECT_EQ(preset.one_way_ms[0][1], 25.0);
+  EXPECT_EQ(preset.one_way_ms[2][2], 0.0);
+}
+
+TEST(Wan, AppliedLatenciesMatchPreset) {
+  Simulator sim;
+  Network net(&sim, Rng(3));
+  WanPreset preset = FiveDcWan();
+  ApplyWan(&net, preset);
+  Histogram h;
+  for (int i = 0; i < 3000; ++i) h.Record(net.SampleLatency(0, 1));
+  EXPECT_NEAR(double(h.Percentile(50)), preset.one_way_ms[0][1] * 1000.0,
+              preset.one_way_ms[0][1] * 1000.0 * 0.08);
+  Histogram intra;
+  for (int i = 0; i < 3000; ++i) intra.Record(net.SampleLatency(2, 2));
+  EXPECT_LT(intra.Percentile(99), Millis(1));
+}
+
+TEST(Cluster, WiringAndLayout) {
+  ClusterOptions options;
+  options.clients_per_dc = 3;
+  Cluster cluster(options);
+  EXPECT_EQ(cluster.num_dcs(), 5);
+  EXPECT_EQ(cluster.num_clients(), 15);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(cluster.client(i)->dc(), DcId(i % 5)) << "round-robin layout";
+    EXPECT_EQ(cluster.planet_client(i)->db(), cluster.client(i));
+  }
+  for (DcId dc = 0; dc < 5; ++dc) {
+    EXPECT_EQ(cluster.replica(dc)->dc(), dc);
+  }
+}
+
+TEST(Cluster, SeedKeyReachesEveryReplicaIdentically) {
+  Cluster cluster(ClusterOptions{});
+  cluster.SeedKey(3, 33);
+  cluster.SeedKey(4, 44);
+  EXPECT_TRUE(cluster.ReplicasConverged());
+  for (DcId dc = 0; dc < 5; ++dc) {
+    EXPECT_EQ(cluster.replica(dc)->store().Read(3).value, 33);
+  }
+}
+
+TEST(Cluster, MismatchedWanAndDcsRejected) {
+  ClusterOptions options;
+  options.mdcc.num_dcs = 3;  // FiveDcWan has 5
+  EXPECT_DEATH(Cluster cluster(options), "WAN preset");
+}
+
+TEST(Cluster, ForkRngDeterministic) {
+  ClusterOptions options;
+  Cluster a(options), b(options);
+  EXPECT_EQ(a.ForkRng(7).Next(), b.ForkRng(7).Next());
+  EXPECT_NE(a.ForkRng(7).Next(), a.ForkRng(8).Next());
+}
+
+TEST(Metrics, RecordAndDerive) {
+  RunMetrics m;
+  m.Record(TxnResult{Status::OK(), Millis(100), Millis(40), true});
+  m.Record(TxnResult{Status::OK(), Millis(200), Millis(200), false});
+  m.Record(TxnResult{Status::Aborted("x"), Millis(150), Millis(150), false});
+  m.Record(TxnResult{Status::Rejected("a"), Micros(10), Micros(10), false});
+  m.Record(TxnResult{Status::Unavailable("t"), Seconds(30), Millis(50),
+                     false});
+  EXPECT_EQ(m.committed, 2u);
+  EXPECT_EQ(m.aborted, 1u);
+  EXPECT_EQ(m.rejected, 1u);
+  EXPECT_EQ(m.unavailable, 1u);
+  EXPECT_EQ(m.finished(), 5u);
+  EXPECT_EQ(m.attempted(), 4u);
+  EXPECT_EQ(m.speculative_notifications, 1u);
+  EXPECT_NEAR(m.CommitRate(), 0.5, 1e-9);
+  EXPECT_NEAR(m.Goodput(Seconds(10)), 0.2, 1e-9);
+  EXPECT_EQ(m.latency_committed.count(), 2u);
+  EXPECT_EQ(m.latency_all.count(), 5u);
+}
+
+TEST(Metrics, SinkFeedsRecord) {
+  RunMetrics m;
+  auto sink = m.Sink();
+  sink(TxnResult{Status::OK(), Millis(1), Millis(1), false});
+  EXPECT_EQ(m.committed, 1u);
+}
+
+TEST(Table, AlignmentAndCsv) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Columns aligned: "value" starts at the same offset in both rows.
+  size_t header_pos = s.find("value");
+  size_t row_pos = s.find("1");
+  EXPECT_EQ(header_pos % (s.find('\n') + 1), row_pos % (s.find('\n') + 1));
+  EXPECT_EQ(t.ToCsv(), "name,value\nalpha,1\nb,22\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.ToCsv(), "a,b,c\nx,,\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::FmtInt(-42), "-42");
+  EXPECT_EQ(Table::FmtPct(0.123, 1), "12.3%");
+  EXPECT_EQ(Table::FmtUs(999), "999us");
+  EXPECT_EQ(Table::FmtUs(1500), "1.50ms");
+  EXPECT_EQ(Table::FmtUs(2100000), "2.10s");
+}
+
+}  // namespace
+}  // namespace planet

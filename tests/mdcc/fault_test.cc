@@ -1,0 +1,176 @@
+// Fault injection: partitions, coordinator timeouts, stranded pending
+// options, and the peer-driven resolution protocol that heals them.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+#include "workload/runners.h"
+
+namespace planet {
+namespace {
+
+ClusterOptions FaultOptions(uint64_t seed = 77) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.mdcc.txn_timeout = Seconds(2);
+  options.recovery_period = Seconds(1);
+  return options;
+}
+
+/// Runs one RMW transaction on `key` from `client`; returns outcome.
+void Rmw(Client* client, Key key, Status* out) {
+  TxnId txn = client->Begin();
+  client->Read(txn, key, [client, txn, key, out](Status, RecordView v) {
+    ASSERT_TRUE(client->Write(txn, key, v.value + 1).ok());
+    client->Commit(txn, [out](Status s) { *out = s; });
+  });
+}
+
+TEST(Fault, MinorityPartitionStillCommits) {
+  // One DC cut off: the fast quorum (4 of 5) is still reachable.
+  Cluster cluster(FaultOptions());
+  for (DcId dc = 0; dc < 5; ++dc) {
+    if (dc != 3) cluster.net().SetPartitioned(3, dc, dc != 3);
+  }
+  Status outcome = Status::Internal("unset");
+  Rmw(cluster.client(0), 5, &outcome);  // client in us-west
+  cluster.sim().RunFor(Seconds(1));
+  EXPECT_TRUE(outcome.ok()) << outcome.ToString();
+}
+
+TEST(Fault, MajorityPartitionTimesOutUnavailable) {
+  // The coordinator's DC is cut off from everyone: no quorum reachable.
+  Cluster cluster(FaultOptions());
+  for (DcId dc = 1; dc < 5; ++dc) cluster.net().SetPartitioned(0, dc, true);
+  Status outcome = Status::Internal("unset");
+  Rmw(cluster.client(0), 5, &outcome);
+  cluster.sim().RunFor(Seconds(5));
+  EXPECT_TRUE(outcome.IsUnavailable()) << outcome.ToString();
+}
+
+TEST(Fault, StrandedPendingResolvedAfterHeal) {
+  // DC 3's replica accepts the option, then the partition cuts it off from
+  // the decision broadcast. After healing, the resolution protocol applies
+  // the commit it missed.
+  Cluster cluster(FaultOptions());
+  Status outcome = Status::Internal("unset");
+  Rmw(cluster.client(0), 5, &outcome);
+  // Let the fast accepts reach everyone (including DC 3), then cut DC 3 off
+  // before the visibility broadcast can arrive there.
+  cluster.sim().RunFor(Millis(120));
+  for (DcId dc = 0; dc < 5; ++dc) {
+    if (dc != 3) cluster.net().SetPartitioned(3, dc, true);
+  }
+  cluster.sim().RunFor(Seconds(1));
+  ASSERT_TRUE(outcome.ok()) << outcome.ToString();
+  // DC 3 holds a stranded pending option and a stale committed value.
+  EXPECT_EQ(cluster.replica(3)->store().TotalPending(), 1u);
+  EXPECT_EQ(cluster.replica(3)->store().Read(5).value, 0);
+
+  // Heal; recovery asks peers and applies the missed commit.
+  for (DcId dc = 0; dc < 5; ++dc) {
+    if (dc != 3) cluster.net().SetPartitioned(3, dc, false);
+  }
+  cluster.sim().RunFor(Seconds(8));
+  EXPECT_EQ(cluster.replica(3)->store().TotalPending(), 0u);
+  EXPECT_EQ(cluster.replica(3)->store().Read(5).value, 1);
+  EXPECT_GE(cluster.replica(3)->recovered_options(), 1u);
+  cluster.Drain();
+  EXPECT_TRUE(cluster.ReplicasConverged());
+}
+
+TEST(Fault, StrandedAbortResolvedAfterHeal) {
+  // Same as above but the stranded decision is an abort: two conflicting
+  // transactions race, DC 3 accepted the loser's option.
+  Cluster cluster(FaultOptions(78));
+  Client* a = cluster.client(0);
+  Client* b = cluster.client(1);
+  Status sa = Status::Internal("unset"), sb = Status::Internal("unset");
+  Rmw(a, 9, &sa);
+  Rmw(b, 9, &sb);
+  cluster.sim().RunFor(Millis(120));
+  for (DcId dc = 0; dc < 5; ++dc) {
+    if (dc != 3) cluster.net().SetPartitioned(3, dc, true);
+  }
+  cluster.sim().RunFor(Seconds(3));
+  // At most one of the conflicting transactions commits (under the partition
+  // both may abort / time out — mutual kills are legal).
+  ASSERT_FALSE(sa.ok() && sb.ok());
+  for (DcId dc = 0; dc < 5; ++dc) {
+    if (dc != 3) cluster.net().SetPartitioned(3, dc, false);
+  }
+  cluster.sim().RunFor(Seconds(10));
+  cluster.Drain();
+  EXPECT_EQ(cluster.replica(3)->store().TotalPending(), 0u);
+  EXPECT_TRUE(cluster.ReplicasConverged());
+}
+
+TEST(Fault, RecoveryIdleWhenNothingPending) {
+  // The recovery scan must not keep the simulation alive forever.
+  Cluster cluster(FaultOptions());
+  Status outcome = Status::Internal("unset");
+  Rmw(cluster.client(0), 5, &outcome);
+  cluster.Drain();  // terminates: scans stop once no pendings remain
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(cluster.replica(0)->recovered_options(), 0u)
+      << "normal operation never needs recovery";
+}
+
+TEST(Fault, WorkloadAcrossPartitionEpisodeConverges) {
+  // Continuous load while one DC drops out for a while mid-run; after the
+  // heal and recovery, all replicas converge and no updates are lost.
+  ClusterOptions options = FaultOptions(79);
+  options.clients_per_dc = 2;
+  Cluster cluster(options);
+
+  WorkloadConfig wl;
+  wl.num_keys = 200;
+  wl.reads_per_txn = 0;
+  wl.writes_per_txn = 2;
+
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + i),
+        MakeMdccRunner(cluster.client(i), wl, cluster.ForkRng(200 + i)),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(20));
+    generators.push_back(std::move(gen));
+  }
+  cluster.sim().ScheduleAt(Seconds(5), [&] { cluster.PartitionDc(2); });
+  cluster.sim().ScheduleAt(Seconds(12), [&] { cluster.HealDc(2); });
+  // Commits continue arriving after the heal-time sync; run one more
+  // anti-entropy round once the cluster is quiet.
+  cluster.sim().ScheduleAt(Seconds(25),
+                           [&] { cluster.replica(2)->RequestSyncAll(); });
+  cluster.Drain();
+
+  EXPECT_GT(metrics.committed, 100u);
+  EXPECT_GT(cluster.replica(2)->sync_records_adopted(), 0u);
+  EXPECT_TRUE(cluster.ReplicasConverged())
+      << "pending=" << cluster.TotalPending();
+  Value total = 0;
+  for (const auto& [key, view] : cluster.replica(0)->store().Snapshot()) {
+    total += view.value;
+  }
+  EXPECT_EQ(total, static_cast<Value>(metrics.committed * 2));
+}
+
+TEST(Fault, LossyLinksOnlySlowThingsDown) {
+  // 10% retransmission probability on every WAN link: transactions still
+  // commit (reliable channels), just later.
+  ClusterOptions options = FaultOptions(80);
+  options.wan.loss_prob = 0.10;
+  Cluster cluster(options);
+  Status outcome = Status::Internal("unset");
+  Rmw(cluster.client(0), 5, &outcome);
+  cluster.Drain();
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_GT(cluster.net().messages_retransmitted(), 0u);
+  EXPECT_TRUE(cluster.ReplicasConverged());
+}
+
+}  // namespace
+}  // namespace planet

@@ -1,0 +1,271 @@
+// End-to-end tests of the MDCC commit stack on the simulated 5-DC WAN:
+// commit/abort paths, atomic visibility, replica convergence, the
+// no-lost-update property, and determinism.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+#include "workload/runners.h"
+
+namespace planet {
+namespace {
+
+ClusterOptions SmallCluster(uint64_t seed = 7) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.mdcc.num_dcs = 5;
+  options.wan = FiveDcWan();
+  options.clients_per_dc = 1;
+  return options;
+}
+
+TEST(MdccIntegration, SingleTxnCommits) {
+  Cluster cluster(SmallCluster());
+  Client* client = cluster.client(0);
+
+  Status outcome = Status::Internal("never set");
+  TxnId txn = client->Begin();
+  client->Read(txn, 42, [&](Status s, RecordView view) {
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(view.version, 0u);
+    EXPECT_EQ(view.value, 0);
+    ASSERT_TRUE(client->Write(txn, 42, 7).ok());
+    client->Commit(txn, [&](Status s2) { outcome = s2; });
+  });
+  cluster.Drain();
+
+  EXPECT_TRUE(outcome.ok()) << outcome.ToString();
+  EXPECT_EQ(client->committed(), 1u);
+  for (DcId dc = 0; dc < 5; ++dc) {
+    RecordView view = cluster.replica(dc)->store().Read(42);
+    EXPECT_EQ(view.version, 1u) << "dc " << dc;
+    EXPECT_EQ(view.value, 7) << "dc " << dc;
+  }
+  EXPECT_TRUE(cluster.ReplicasConverged());
+}
+
+TEST(MdccIntegration, ReadOnlyTxnCommitsImmediately) {
+  Cluster cluster(SmallCluster());
+  Client* client = cluster.client(0);
+  Status outcome = Status::Internal("never set");
+  TxnId txn = client->Begin();
+  client->Read(txn, 1, [&](Status, RecordView) {
+    client->Commit(txn, [&](Status s) { outcome = s; });
+  });
+  cluster.Drain();
+  EXPECT_TRUE(outcome.ok());
+  // Read request + reply only; a read-only commit sends no messages.
+  EXPECT_EQ(cluster.net().messages_sent(), 2u);
+}
+
+TEST(MdccIntegration, WriteWithoutReadFailsPrecondition) {
+  Cluster cluster(SmallCluster());
+  Client* client = cluster.client(0);
+  TxnId txn = client->Begin();
+  Status st = client->Write(txn, 5, 1);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MdccIntegration, ConflictingTxnsOneWins) {
+  // Two clients in different DCs read the same key, then both try to commit
+  // a physical write against version 0: exactly one must win.
+  Cluster cluster(SmallCluster());
+  Client* a = cluster.client(0);
+  Client* b = cluster.client(1);
+
+  Status sa = Status::Internal("unset"), sb = Status::Internal("unset");
+  TxnId ta = a->Begin();
+  TxnId tb = b->Begin();
+  a->Read(ta, 9, [&](Status, RecordView) {
+    ASSERT_TRUE(a->Write(ta, 9, 100).ok());
+    a->Commit(ta, [&](Status s) { sa = s; });
+  });
+  b->Read(tb, 9, [&](Status, RecordView) {
+    ASSERT_TRUE(b->Write(tb, 9, 200).ok());
+    b->Commit(tb, [&](Status s) { sb = s; });
+  });
+  cluster.Drain();
+
+  EXPECT_NE(sa.ok(), sb.ok()) << "exactly one commits: sa=" << sa.ToString()
+                              << " sb=" << sb.ToString();
+  EXPECT_TRUE(cluster.ReplicasConverged());
+  Value final_value = cluster.replica(0)->store().Read(9).value;
+  EXPECT_EQ(final_value, sa.ok() ? 100 : 200);
+}
+
+TEST(MdccIntegration, MultiKeyAtomicity) {
+  // A transaction writing three keys is all-or-nothing on every replica.
+  Cluster cluster(SmallCluster());
+  Client* client = cluster.client(0);
+  std::vector<Key> keys = {11, 22, 33};
+  int reads_left = 3;
+  Status outcome = Status::Internal("unset");
+  TxnId txn = client->Begin();
+  for (Key key : keys) {
+    client->Read(txn, key, [&, key](Status, RecordView) {
+      ASSERT_TRUE(client->Write(txn, key, 5).ok());
+      if (--reads_left == 0) {
+        client->Commit(txn, [&](Status s) { outcome = s; });
+      }
+    });
+  }
+  cluster.Drain();
+  ASSERT_TRUE(outcome.ok());
+  for (DcId dc = 0; dc < 5; ++dc) {
+    for (Key key : keys) {
+      EXPECT_EQ(cluster.replica(dc)->store().Read(key).value, 5);
+    }
+  }
+}
+
+TEST(MdccIntegration, CommutativeAddsAllCommitUnderContention) {
+  // Hot-key counter: with commutative options, concurrent increments do not
+  // conflict and every transaction commits.
+  Cluster cluster(SmallCluster());
+  int commits = 0, aborts = 0;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    Client* c = cluster.client(i);
+    TxnId txn = c->Begin();
+    ASSERT_TRUE(c->Add(txn, 77, 1).ok());
+    c->Commit(txn, [&](Status s) { s.ok() ? ++commits : ++aborts; });
+  }
+  cluster.Drain();
+  EXPECT_EQ(commits, 5);
+  EXPECT_EQ(aborts, 0);
+  EXPECT_TRUE(cluster.ReplicasConverged());
+  EXPECT_EQ(cluster.replica(0)->store().Read(77).value, 5);
+}
+
+TEST(MdccIntegration, NoLostUpdatesUnderHotspot) {
+  // The canonical property: with physical RMW increments, the final value of
+  // each key equals the number of committed transactions that wrote it.
+  ClusterOptions options = SmallCluster(21);
+  options.clients_per_dc = 4;
+  Cluster cluster(options);
+
+  WorkloadConfig wl;
+  wl.num_keys = 50;
+  wl.dist = KeyDist::kUniform;
+  wl.reads_per_txn = 0;
+  wl.writes_per_txn = 2;
+
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(500 + i),
+        MakeMdccRunner(cluster.client(i), wl, cluster.ForkRng(900 + i)),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(30));
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+
+  EXPECT_GT(metrics.committed, 50u);
+  EXPECT_GT(metrics.aborted, 0u) << "hotspot should produce some conflicts";
+  EXPECT_TRUE(cluster.ReplicasConverged());
+
+  // Sum of all values == number of committed write options applied; each
+  // committed txn wrote exactly 2 keys with +1 each.
+  Value total = 0;
+  auto snapshot = cluster.replica(0)->store().Snapshot();
+  for (const auto& [key, view] : snapshot) total += view.value;
+  EXPECT_EQ(total, static_cast<Value>(metrics.committed * 2));
+}
+
+TEST(MdccIntegration, ReadYourWritesPhysical) {
+  Cluster cluster(SmallCluster());
+  Client* client = cluster.client(0);
+  Value observed = -1;
+  TxnId txn = client->Begin();
+  client->Read(txn, 8, [&](Status, RecordView view) {
+    ASSERT_TRUE(client->Write(txn, 8, view.value + 41).ok());
+    client->Read(txn, 8, [&](Status, RecordView again) {
+      observed = again.value;  // must see the buffered write
+    });
+  });
+  cluster.Drain();
+  EXPECT_EQ(observed, 41);
+  // The buffered-read shortcut sends no extra messages (2 for the first
+  // remote read only).
+  EXPECT_EQ(cluster.net().messages_sent(), 2u);
+}
+
+TEST(MdccIntegration, ReadYourWritesCommutative) {
+  Cluster cluster(SmallCluster());
+  Client* client = cluster.client(0);
+  cluster.SeedKey(8, 100);
+  Value observed = -1;
+  TxnId txn = client->Begin();
+  ASSERT_TRUE(client->Add(txn, 8, 7).ok());
+  client->Read(txn, 8, [&](Status, RecordView view) {
+    observed = view.value;  // committed 100 + buffered delta 7
+  });
+  cluster.Drain();
+  EXPECT_EQ(observed, 107);
+}
+
+TEST(MdccIntegration, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    ClusterOptions options = SmallCluster(seed);
+    options.clients_per_dc = 2;
+    Cluster cluster(options);
+    WorkloadConfig wl;
+    wl.num_keys = 100;
+    wl.reads_per_txn = 1;
+    wl.writes_per_txn = 1;
+    RunMetrics metrics;
+    std::vector<std::unique_ptr<LoadGenerator>> generators;
+    for (int i = 0; i < cluster.num_clients(); ++i) {
+      auto gen = std::make_unique<LoadGenerator>(
+          &cluster.sim(), cluster.ForkRng(500 + i),
+          MakeMdccRunner(cluster.client(i), wl, cluster.ForkRng(900 + i)),
+          LoadGenerator::Options{});
+      gen->SetResultSink(metrics.Sink());
+      gen->Start(Seconds(10));
+      generators.push_back(std::move(gen));
+    }
+    cluster.Drain();
+    return std::tuple<uint64_t, uint64_t, uint64_t>(
+        metrics.committed, metrics.aborted, cluster.sim().events_processed());
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(MdccIntegration, StaleReadVersionAborts) {
+  // T1 commits an update; T2 then tries to commit against the old version.
+  Cluster cluster(SmallCluster());
+  Client* client = cluster.client(0);
+
+  TxnId t2 = client->Begin();
+  Version t2_version = 999;
+  client->Read(t2, 4, [&](Status, RecordView view) {
+    t2_version = view.version;  // reads version 0
+  });
+  cluster.Drain();
+  ASSERT_EQ(t2_version, 0u);
+
+  // T1 commits, bumping the version everywhere.
+  Status s1 = Status::Internal("unset");
+  TxnId t1 = client->Begin();
+  client->Read(t1, 4, [&](Status, RecordView) {
+    ASSERT_TRUE(client->Write(t1, 4, 1).ok());
+    client->Commit(t1, [&](Status s) { s1 = s; });
+  });
+  cluster.Drain();
+  ASSERT_TRUE(s1.ok());
+
+  // T2 now writes against its stale version and must abort.
+  ASSERT_TRUE(client->Write(t2, 4, 2).ok());
+  Status s2 = Status::Internal("unset");
+  client->Commit(t2, [&](Status s) { s2 = s; });
+  cluster.Drain();
+  EXPECT_TRUE(s2.IsAborted()) << s2.ToString();
+  EXPECT_EQ(cluster.replica(0)->store().Read(4).value, 1);
+  EXPECT_TRUE(cluster.ReplicasConverged());
+}
+
+}  // namespace
+}  // namespace planet

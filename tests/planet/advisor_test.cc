@@ -1,0 +1,98 @@
+// Tests of the expected-utility speculation advisor.
+#include "planet/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace planet {
+namespace {
+
+TEST(Advisor, HighLikelihoodSpeculates) {
+  SpeculationCosts costs;  // defaults: apology 5x the instant win
+  EXPECT_EQ(Advise(costs, 0.999), SpeculationAdvice::kSpeculate);
+}
+
+TEST(Advisor, LowLikelihoodNeverSpeculates) {
+  SpeculationCosts costs;
+  EXPECT_NE(Advise(costs, 0.1), SpeculationAdvice::kSpeculate);
+  EXPECT_NE(Advise(costs, 0.0), SpeculationAdvice::kSpeculate);
+}
+
+TEST(Advisor, CheapApologyLowersTheBar) {
+  SpeculationCosts cheap;
+  cheap.cost_apology = 0.1;
+  SpeculationCosts expensive;
+  expensive.cost_apology = 50.0;
+  double t_cheap = ImpliedSpeculationThreshold(cheap);
+  double t_expensive = ImpliedSpeculationThreshold(expensive);
+  EXPECT_LT(t_cheap, t_expensive);
+  EXPECT_GT(t_expensive, 0.95);
+}
+
+TEST(Advisor, ImpliedThresholdConsistentWithAdvise) {
+  SpeculationCosts costs;
+  costs.cost_apology = 3.0;
+  costs.value_late_success = 0.4;
+  double threshold = ImpliedSpeculationThreshold(costs);
+  ASSERT_GT(threshold, 0.0);
+  ASSERT_LT(threshold, 1.0);
+  EXPECT_EQ(Advise(costs, threshold + 0.01), SpeculationAdvice::kSpeculate);
+  EXPECT_NE(Advise(costs, threshold - 0.01), SpeculationAdvice::kSpeculate);
+}
+
+TEST(Advisor, WaitVsGiveUpByPendingValue) {
+  // Below the speculation bar, the wait/give-up choice hinges on how the
+  // late answer compares to the "pending" screen.
+  SpeculationCosts patient;
+  patient.value_late_success = 0.9;
+  patient.value_pending = 0.1;
+  EXPECT_EQ(Advise(patient, 0.5), SpeculationAdvice::kWait);
+
+  SpeculationCosts impatient;
+  impatient.value_late_success = 0.1;
+  impatient.value_pending = 0.6;
+  impatient.cost_apology = 50.0;
+  EXPECT_EQ(Advise(impatient, 0.5), SpeculationAdvice::kGiveUp);
+}
+
+TEST(Advisor, NeverSpeculateWhenApologyAlwaysWorseIsImpossible) {
+  // Even a certain commit should not speculate if the instant win is worth
+  // less than waiting.
+  SpeculationCosts costs;
+  costs.value_instant_success = 0.3;
+  costs.value_late_success = 0.8;
+  EXPECT_EQ(Advise(costs, 1.0), SpeculationAdvice::kWait);
+  EXPECT_GT(ImpliedSpeculationThreshold(costs), 1.0) << "sentinel: never";
+}
+
+TEST(Advisor, CallbackDrivesTransaction) {
+  ClusterOptions options;
+  options.seed = 777;
+  Cluster cluster(options);
+  PlanetClient* client = cluster.planet_client(0);
+
+  SpeculationCosts costs;
+  costs.cost_apology = 1.0;  // cheap apologies: speculate readily
+  Outcome seen;
+  PlanetTransaction txn = client->Begin();
+  txn.WithTimeout(Millis(20), MakeAdvisorCallback(costs));
+  txn.Read(5, [txn, &seen](Status, Value v) mutable {
+    ASSERT_TRUE(txn.Write(5, v + 1).ok());
+    txn.Commit([&seen](const Outcome& o) { seen = o; });
+  });
+  cluster.Drain();
+  EXPECT_TRUE(seen.speculative)
+      << "low-contention likelihood ~1 must clear the cheap-apology bar";
+  EXPECT_EQ(cluster.context().stats().apologies, 0u);
+}
+
+TEST(Advisor, AdviceNamesDistinct) {
+  EXPECT_STRNE(SpeculationAdviceName(SpeculationAdvice::kSpeculate),
+               SpeculationAdviceName(SpeculationAdvice::kWait));
+  EXPECT_STRNE(SpeculationAdviceName(SpeculationAdvice::kWait),
+               SpeculationAdviceName(SpeculationAdvice::kGiveUp));
+}
+
+}  // namespace
+}  // namespace planet

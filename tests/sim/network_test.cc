@@ -1,0 +1,144 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "sim/simulator.h"
+
+namespace planet {
+namespace {
+
+struct NetFixture : public ::testing::Test {
+  NetFixture() : net(&sim, Rng(77)) {
+    net.RegisterNode(0, 0);  // dc 0
+    net.RegisterNode(1, 1);  // dc 1
+    net.RegisterNode(2, 1);  // dc 1
+    LinkParams wan;
+    wan.median_one_way = Millis(40);
+    wan.sigma = 0.1;
+    wan.min_latency = Millis(20);
+    net.SetLink(0, 1, wan);
+    LinkParams intra;
+    intra.median_one_way = Micros(250);
+    intra.min_latency = Micros(20);
+    net.SetLink(1, 1, intra);
+    net.SetLink(0, 0, intra);
+  }
+  Simulator sim;
+  Network net;
+};
+
+TEST_F(NetFixture, DeliversWithWanLatency) {
+  SimTime delivered_at = -1;
+  net.Send(0, 1, [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  ASSERT_GE(delivered_at, Millis(20));
+  EXPECT_LT(delivered_at, Millis(200));
+}
+
+TEST_F(NetFixture, IntraDcIsFast) {
+  SimTime delivered_at = -1;
+  net.Send(1, 2, [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  ASSERT_GE(delivered_at, 0);
+  EXPECT_LT(delivered_at, Millis(2));
+}
+
+TEST_F(NetFixture, LatencyDistributionMatchesMedian) {
+  Histogram h;
+  for (int i = 0; i < 5000; ++i) h.Record(net.SampleLatency(0, 1));
+  EXPECT_NEAR(double(h.Percentile(50)), double(Millis(40)),
+              double(Millis(40)) * 0.08);
+  EXPECT_GE(h.min(), Millis(20));
+}
+
+TEST_F(NetFixture, PartitionDropsMessages) {
+  net.SetPartitioned(0, 1, true);
+  bool delivered = false;
+  net.Send(0, 1, [&] { delivered = true; });
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+
+  net.SetPartitioned(0, 1, false);
+  net.Send(0, 1, [&] { delivered = true; });
+  sim.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetFixture, PartitionIsSymmetric) {
+  net.SetPartitioned(1, 0, true);
+  bool delivered = false;
+  net.Send(0, 1, [&] { delivered = true; });
+  sim.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(NetFixture, LossDelaysButDelivers) {
+  LinkParams lossy;
+  lossy.median_one_way = Millis(40);
+  lossy.min_latency = Millis(20);
+  lossy.loss_prob = 0.5;
+  lossy.retransmit_timeout = Millis(200);
+  net.SetLink(0, 1, lossy);
+
+  int delivered = 0;
+  SimTime max_time = 0;
+  for (int i = 0; i < 200; ++i) {
+    net.Send(0, 1, [&] {
+      ++delivered;
+      max_time = std::max(max_time, sim.Now());
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 200);  // reliable channel: nothing lost
+  EXPECT_GT(net.messages_retransmitted(), 50u);
+  EXPECT_GT(max_time, Millis(200));  // some hit at least one RTO
+}
+
+TEST_F(NetFixture, DegradationAddsLatency) {
+  Histogram base, degraded;
+  for (int i = 0; i < 2000; ++i) base.Record(net.SampleLatency(0, 1));
+  DcDegradation deg;
+  deg.extra_median = Millis(100);
+  deg.extra_sigma = 0.2;
+  net.SetDegradation(1, deg);
+  for (int i = 0; i < 2000; ++i) degraded.Record(net.SampleLatency(0, 1));
+  EXPECT_GT(degraded.Percentile(50), base.Percentile(50) + Millis(70));
+
+  net.ClearDegradation(1);
+  Histogram recovered;
+  for (int i = 0; i < 2000; ++i) recovered.Record(net.SampleLatency(0, 1));
+  EXPECT_LT(recovered.Percentile(50), base.Percentile(50) + Millis(10));
+}
+
+TEST_F(NetFixture, DcOfReportsRegistration) {
+  EXPECT_EQ(net.DcOf(0), 0);
+  EXPECT_EQ(net.DcOf(1), 1);
+  EXPECT_EQ(net.DcOf(2), 1);
+  EXPECT_EQ(net.num_nodes(), 3);
+}
+
+TEST_F(NetFixture, MessageCounter) {
+  net.Send(0, 1, [] {});
+  net.Send(1, 2, [] {});
+  EXPECT_EQ(net.messages_sent(), 2u);
+}
+
+TEST_F(NetFixture, AsymmetricDirectedLink) {
+  LinkParams slow;
+  slow.median_one_way = Millis(400);
+  slow.min_latency = Millis(300);
+  net.SetDirectedLink(1, 0, slow);
+  // 0 -> 1 stays fast, 1 -> 0 is slow.
+  Histogram fwd, back;
+  for (int i = 0; i < 500; ++i) {
+    fwd.Record(net.SampleLatency(0, 1));
+    back.Record(net.SampleLatency(1, 0));
+  }
+  EXPECT_LT(fwd.Percentile(50), Millis(80));
+  EXPECT_GE(back.Percentile(50), Millis(300));
+}
+
+}  // namespace
+}  // namespace planet

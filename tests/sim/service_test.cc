@@ -1,0 +1,181 @@
+// Tests of the per-node CPU service model and latency-aware admission.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+#include "workload/runners.h"
+
+namespace planet {
+namespace {
+
+// A minimal node exposing Serve() for direct tests.
+class ProbeNode : public Node {
+ public:
+  using Node::Node;
+  void Do(Duration cost, std::function<void()> fn) {
+    Serve(cost, std::move(fn));
+  }
+};
+
+TEST(ServiceQueue, SerializesAndAccumulatesDelay) {
+  Simulator sim;
+  Network net(&sim, Rng(1));
+  ProbeNode node(&sim, &net, 0, 0, Rng(2));
+  std::vector<SimTime> done;
+  for (int i = 0; i < 5; ++i) {
+    node.Do(Millis(10), [&] { done.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(done.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(done[size_t(i)], Millis(10) * (i + 1)) << "strictly serial";
+  }
+  EXPECT_EQ(node.busy_time(), Millis(50));
+}
+
+TEST(ServiceQueue, ZeroCostRunsInline) {
+  Simulator sim;
+  Network net(&sim, Rng(1));
+  ProbeNode node(&sim, &net, 0, 0, Rng(2));
+  bool ran = false;
+  node.Do(0, [&] { ran = true; });
+  EXPECT_TRUE(ran) << "no event scheduling for infinite-capacity nodes";
+  EXPECT_EQ(node.busy_time(), 0);
+}
+
+TEST(ServiceQueue, IdleGapsDoNotAccumulate) {
+  Simulator sim;
+  Network net(&sim, Rng(1));
+  ProbeNode node(&sim, &net, 0, 0, Rng(2));
+  SimTime second_done = 0;
+  node.Do(Millis(5), [] {});
+  sim.Run();  // drain; node idle again
+  sim.ScheduleAt(Millis(100), [&] {
+    node.Do(Millis(5), [&] { second_done = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(second_done, Millis(105)) << "queue restarts from now, not from "
+                                         "the old busy_until";
+}
+
+TEST(ServiceModel, SaturationInflatesCommitLatency) {
+  auto run = [](Duration cost) {
+    ClusterOptions options;
+    options.seed = 131;
+    options.clients_per_dc = 2;
+    options.mdcc.replica_service_cost = cost;
+    Cluster cluster(options);
+    WorkloadConfig wl;
+    wl.num_keys = 100000;
+    wl.reads_per_txn = 1;
+    wl.writes_per_txn = 2;
+    LoadGenerator::Options load;
+    load.rate_per_sec = 30;  // 300 tx/s total ~ saturation at 1ms/msg
+    RunMetrics metrics;
+    std::vector<std::unique_ptr<LoadGenerator>> generators;
+    for (int i = 0; i < cluster.num_clients(); ++i) {
+      auto gen = std::make_unique<LoadGenerator>(
+          &cluster.sim(), cluster.ForkRng(100 + i),
+          MakeMdccRunner(cluster.client(i), wl, cluster.ForkRng(200 + i)),
+          load);
+      gen->SetResultSink(metrics.Sink());
+      gen->Start(Seconds(20));
+      generators.push_back(std::move(gen));
+    }
+    cluster.Drain();
+    return metrics.latency_committed.Percentile(99);
+  };
+  int64_t p99_unloaded = run(0);
+  int64_t p99_saturated = run(Millis(1));
+  EXPECT_GT(p99_saturated, 3 * p99_unloaded)
+      << "queueing delay must dominate near saturation";
+}
+
+TEST(ServiceModel, UtilizationTracksLoad) {
+  ClusterOptions options;
+  options.seed = 132;
+  options.mdcc.replica_service_cost = Millis(1);
+  Cluster cluster(options);
+  WorkloadConfig wl;
+  wl.num_keys = 1000;
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 1;
+  LoadGenerator::Options load;
+  load.rate_per_sec = 20;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + i),
+        MakeMdccRunner(cluster.client(i), wl, cluster.ForkRng(200 + i)),
+        load);
+    gen->Start(Seconds(20));
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+  for (DcId dc = 0; dc < 5; ++dc) {
+    double util = cluster.replica(dc)->Utilization();
+    EXPECT_GT(util, 0.05) << "dc " << dc;
+    EXPECT_LT(util, 0.9) << "dc " << dc;
+  }
+}
+
+TEST(SlaAdmission, RejectsWhenLearnedRttsExceedSla) {
+  ClusterOptions options;
+  options.seed = 133;
+  options.planet.enable_admission = true;
+  options.planet.admission_threshold = 0.5;
+  options.planet.admission_sla = Millis(120);  // below the ~150ms quorum RTT
+  Cluster cluster(options);
+  PlanetClient* client = cluster.planet_client(0);
+
+  // Cold model: the first transactions must not be shed (no RTT data yet).
+  for (int i = 0; i < 2; ++i) {
+    PlanetTransaction cold = client->Begin();
+    cold.Read(Key(400 + i), [cold, i](Status, Value v) mutable {
+      ASSERT_TRUE(cold.Write(Key(400 + i), v + 1).ok());
+      cold.Commit([](const Outcome&) {});
+    });
+    cluster.Drain();
+  }
+  ASSERT_EQ(cluster.context().stats().admission_rejected, 0u)
+      << "cold model must not reject";
+
+  // Warm the latency model with admission disabled (>= 8 samples per link).
+  cluster.context().mutable_planet_config().enable_admission = false;
+  for (int i = 0; i < 10; ++i) {
+    PlanetTransaction warm = client->Begin();
+    warm.Read(Key(500 + i), [warm, i](Status, Value v) mutable {
+      ASSERT_TRUE(warm.Write(Key(500 + i), v + 1).ok());
+      warm.Commit([](const Outcome&) {});
+    });
+    cluster.Drain();
+  }
+  cluster.context().mutable_planet_config().enable_admission = true;
+
+  // Now the model knows the fast quorum needs ~150ms: a 120ms SLA is
+  // unattainable and the transaction is rejected up front.
+  Status final_status = Status::Internal("unset");
+  PlanetTransaction txn = client->Begin();
+  txn.OnFinal([&](Status s) { final_status = s; });
+  txn.Read(7, [txn](Status, Value v) mutable {
+    ASSERT_TRUE(txn.Write(7, v + 1).ok());
+    txn.Commit([](const Outcome&) {});
+  });
+  cluster.Drain();
+  EXPECT_TRUE(final_status.IsRejected()) << final_status.ToString();
+
+  // Raising the SLA re-admits.
+  cluster.context().mutable_planet_config().admission_sla = Seconds(2);
+  Status relaxed = Status::Internal("unset");
+  PlanetTransaction txn2 = client->Begin();
+  txn2.OnFinal([&](Status s) { relaxed = s; });
+  txn2.Read(8, [txn2](Status, Value v) mutable {
+    ASSERT_TRUE(txn2.Write(8, v + 1).ok());
+    txn2.Commit([](const Outcome&) {});
+  });
+  cluster.Drain();
+  EXPECT_TRUE(relaxed.ok()) << relaxed.ToString();
+}
+
+}  // namespace
+}  // namespace planet

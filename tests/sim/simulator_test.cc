@@ -1,0 +1,141 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace planet {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.NumPending(), 0u);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&] { order.push_back(3); });
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Schedule(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+}
+
+TEST(Simulator, TiesRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  SimTime inner_time = -1;
+  sim.Schedule(10, [&] {
+    sim.Schedule(5, [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, 15);
+}
+
+TEST(Simulator, ZeroDelayRunsAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(10, [&] {
+    order.push_back(1);
+    sim.Schedule(0, [&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.Schedule(100, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.Cancel(9999));
+}
+
+TEST(Simulator, CancelFiredEventIsNoop) {
+  Simulator sim;
+  EventId id = sim.Schedule(1, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastLastEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(100, [&] { ++fired; });
+  sim.Schedule(500, [&] { ++fired; });
+  sim.RunUntil(250);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 250);
+  sim.RunUntil(1000);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(Simulator, RunUntilBoundaryInclusive) {
+  Simulator sim;
+  bool ran = false;
+  sim.Schedule(100, [&] { ran = true; });
+  sim.RunUntil(100);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.Schedule(10, [] {});
+  sim.RunFor(50);
+  EXPECT_EQ(sim.Now(), 50);
+  sim.RunFor(50);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.Schedule(5, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(Simulator, ManyEventsThroughput) {
+  Simulator sim;
+  uint64_t count = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sim.Schedule(i, [&count] { ++count; });
+  }
+  sim.Run();
+  EXPECT_EQ(count, 100000u);
+  EXPECT_EQ(sim.events_processed(), 100000u);
+}
+
+TEST(Simulator, NumPendingExcludesCancelled) {
+  Simulator sim;
+  sim.Schedule(1, [] {});
+  EventId id = sim.Schedule(2, [] {});
+  EXPECT_EQ(sim.NumPending(), 2u);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.NumPending(), 1u);
+}
+
+}  // namespace
+}  // namespace planet

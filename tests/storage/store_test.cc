@@ -1,0 +1,253 @@
+#include "storage/store.h"
+
+#include <gtest/gtest.h>
+
+namespace planet {
+namespace {
+
+WriteOption Physical(TxnId txn, Key key, Version read_version, Value value) {
+  WriteOption o;
+  o.txn = txn;
+  o.key = key;
+  o.kind = OptionKind::kPhysical;
+  o.read_version = read_version;
+  o.new_value = value;
+  return o;
+}
+
+WriteOption Commutative(TxnId txn, Key key, Value delta) {
+  WriteOption o;
+  o.txn = txn;
+  o.key = key;
+  o.kind = OptionKind::kCommutative;
+  o.delta = delta;
+  return o;
+}
+
+TEST(Store, UnwrittenKeyReadsZero) {
+  Store store;
+  RecordView v = store.Read(12345);
+  EXPECT_EQ(v.version, 0u);
+  EXPECT_EQ(v.value, 0);
+}
+
+TEST(Store, SeedValueBumpsVersion) {
+  Store store;
+  store.SeedValue(1, 50);
+  EXPECT_EQ(store.Read(1).version, 1u);
+  EXPECT_EQ(store.Read(1).value, 50);
+}
+
+TEST(Store, AcceptApplyPhysical) {
+  Store store;
+  WriteOption o = Physical(10, 1, 0, 42);
+  ASSERT_TRUE(store.CheckOption(o).ok());
+  store.AcceptOption(o);
+  EXPECT_EQ(store.TotalPending(), 1u);
+  EXPECT_EQ(store.Read(1).value, 0) << "pending is not visible";
+  ASSERT_TRUE(store.ApplyOption(10, 1));
+  EXPECT_EQ(store.Read(1).version, 1u);
+  EXPECT_EQ(store.Read(1).value, 42);
+  EXPECT_EQ(store.TotalPending(), 0u);
+}
+
+TEST(Store, StaleReadVersionRejected) {
+  Store store;
+  store.SeedValue(1, 5);  // version 1
+  Status st = store.CheckOption(Physical(10, 1, 0, 42));
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(store.rejects_stale(), 1u);
+}
+
+TEST(Store, PendingConflictRejected) {
+  Store store;
+  store.AcceptOption(Physical(10, 1, 0, 42));
+  Status st = store.CheckOption(Physical(11, 1, 0, 43));
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.rejects_conflict(), 1u);
+}
+
+TEST(Store, SameTxnReacceptIsIdempotent) {
+  Store store;
+  store.AcceptOption(Physical(10, 1, 0, 42));
+  store.AcceptOption(Physical(10, 1, 0, 99));  // replaces
+  EXPECT_EQ(store.TotalPending(), 1u);
+  ASSERT_TRUE(store.ApplyOption(10, 1));
+  EXPECT_EQ(store.Read(1).value, 99);
+}
+
+TEST(Store, RemoveOptionClearsPending) {
+  Store store;
+  store.AcceptOption(Physical(10, 1, 0, 42));
+  store.RemoveOption(10, 1);
+  EXPECT_EQ(store.TotalPending(), 0u);
+  EXPECT_FALSE(store.ApplyOption(10, 1));
+  // Now another txn can take the record.
+  EXPECT_TRUE(store.CheckOption(Physical(11, 1, 0, 43)).ok());
+}
+
+TEST(Store, ApplyWithoutPendingReturnsFalse) {
+  Store store;
+  EXPECT_FALSE(store.ApplyOption(99, 1));
+}
+
+TEST(Store, LearnOptionAppliesDirectly) {
+  Store store;
+  store.LearnOption(Physical(10, 1, 0, 42));
+  EXPECT_EQ(store.Read(1).version, 1u);
+  EXPECT_EQ(store.Read(1).value, 42);
+}
+
+TEST(Store, LearnErasesMatchingPending) {
+  Store store;
+  store.AcceptOption(Physical(10, 1, 0, 42));
+  store.LearnOption(Physical(10, 1, 0, 42));
+  EXPECT_EQ(store.TotalPending(), 0u);
+  EXPECT_EQ(store.Read(1).version, 1u);
+}
+
+TEST(Store, CommutativeDoesNotBumpVersion) {
+  Store store;
+  store.AcceptOption(Commutative(10, 1, 5));
+  ASSERT_TRUE(store.ApplyOption(10, 1));
+  EXPECT_EQ(store.Read(1).value, 5);
+  EXPECT_EQ(store.Read(1).version, 0u);
+}
+
+TEST(Store, CommutativeOptionsCoexist) {
+  Store store;
+  store.AcceptOption(Commutative(10, 1, 5));
+  EXPECT_TRUE(store.CheckOption(Commutative(11, 1, 3)).ok());
+  store.AcceptOption(Commutative(11, 1, 3));
+  EXPECT_EQ(store.TotalPending(), 2u);
+  ASSERT_TRUE(store.ApplyOption(10, 1));
+  ASSERT_TRUE(store.ApplyOption(11, 1));
+  EXPECT_EQ(store.Read(1).value, 8);
+}
+
+TEST(Store, CommutativeConflictsWithPendingPhysical) {
+  Store store;
+  store.AcceptOption(Physical(10, 1, 0, 42));
+  EXPECT_EQ(store.CheckOption(Commutative(11, 1, 3)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Store, PhysicalConflictsWithPendingCommutative) {
+  Store store;
+  store.AcceptOption(Commutative(10, 1, 3));
+  EXPECT_EQ(store.CheckOption(Physical(11, 1, 0, 42)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Store, DemarcationLowerBound) {
+  Store store;
+  store.SeedValue(1, 10);
+  store.SetBounds(1, ValueBounds{0, 1000});
+  // Two pending -6 deltas would allow the value to go to -2: the second must
+  // be rejected even though each alone is fine.
+  store.AcceptOption(Commutative(10, 1, -6));
+  Status st = store.CheckOption(Commutative(11, 1, -6));
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(store.rejects_bounds(), 1u);
+  // A smaller decrement still fits.
+  EXPECT_TRUE(store.CheckOption(Commutative(11, 1, -4)).ok());
+}
+
+TEST(Store, DemarcationUpperBound) {
+  Store store;
+  store.SetBounds(1, ValueBounds{0, 10});
+  store.AcceptOption(Commutative(10, 1, 6));
+  EXPECT_TRUE(store.CheckOption(Commutative(11, 1, 6)).IsAborted());
+  EXPECT_TRUE(store.CheckOption(Commutative(11, 1, 4)).ok());
+}
+
+TEST(Store, WalRecordsTransitions) {
+  Store store;
+  store.AcceptOption(Physical(10, 1, 0, 42));
+  store.ApplyOption(10, 1);
+  store.LearnOption(Physical(11, 2, 0, 7));
+  ASSERT_EQ(store.wal().size(), 2u);
+  EXPECT_EQ(store.wal()[0].txn, 10u);
+  EXPECT_EQ(store.wal()[0].new_value, 42);
+  EXPECT_EQ(store.wal()[1].key, 2u);
+}
+
+TEST(Store, SnapshotListsMaterializedRecords) {
+  Store store;
+  store.SeedValue(3, 30);
+  store.SeedValue(1, 10);
+  auto snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[1].value, 10);
+  EXPECT_EQ(snap[3].value, 30);
+}
+
+TEST(Store, PendingForReturnsOptions) {
+  Store store;
+  store.AcceptOption(Commutative(10, 1, 5));
+  store.AcceptOption(Commutative(11, 1, 2));
+  auto pending = store.PendingFor(1);
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(store.PendingFor(999).size(), 0u);
+}
+
+TEST(Store, ExportStateRoundTrips) {
+  Store a;
+  a.SeedValue(1, 10);
+  a.LearnOption(Commutative(5, 2, 7));
+  auto state = a.ExportState();
+  ASSERT_EQ(state.size(), 2u);
+  Store b;
+  for (const auto& entry : state) EXPECT_TRUE(b.AdoptRecord(entry));
+  EXPECT_EQ(b.Snapshot(), a.Snapshot());
+}
+
+TEST(Store, AdoptRecordRefusesStaleState) {
+  Store store;
+  store.SeedValue(1, 10);
+  store.SeedValue(1, 20);  // version 2
+  EXPECT_FALSE(store.AdoptRecord(SyncEntry{1, 1, 99, 0}));
+  EXPECT_EQ(store.Read(1).value, 20);
+  EXPECT_TRUE(store.AdoptRecord(SyncEntry{1, 3, 30, 0}));
+  EXPECT_EQ(store.Read(1).value, 30);
+}
+
+TEST(Store, AdoptRecordUsesDeltaCountAtEqualVersion) {
+  Store store;
+  store.LearnOption(Commutative(1, 9, 5));  // value 5, 1 delta, version 0
+  // Same version, fewer deltas: refused.
+  EXPECT_FALSE(store.AdoptRecord(SyncEntry{9, 0, 0, 0}));
+  // Same version, more deltas: adopted.
+  EXPECT_TRUE(store.AdoptRecord(SyncEntry{9, 0, 8, 2}));
+  EXPECT_EQ(store.Read(9).value, 8);
+}
+
+TEST(Store, AdoptRecordKeepsPendingOptions) {
+  Store store;
+  store.AcceptOption(Commutative(7, 3, 1));
+  EXPECT_TRUE(store.AdoptRecord(SyncEntry{3, 2, 50, 0}));
+  EXPECT_EQ(store.TotalPending(), 1u) << "sync must not drop pendings";
+  EXPECT_EQ(store.Read(3).value, 50);
+}
+
+TEST(Store, SnapshotOmitsUntouchedDefaults) {
+  Store store;
+  store.AcceptOption(Physical(1, 4, 0, 9));
+  store.RemoveOption(1, 4);  // record materialized but never committed to
+  EXPECT_TRUE(store.Snapshot().empty());
+}
+
+TEST(Store, VersionChainAdvancesSequentially) {
+  Store store;
+  for (Version v = 0; v < 10; ++v) {
+    WriteOption o = Physical(100 + v, 1, v, static_cast<Value>(v + 1));
+    ASSERT_TRUE(store.CheckOption(o).ok()) << "v=" << v;
+    store.AcceptOption(o);
+    ASSERT_TRUE(store.ApplyOption(100 + v, 1));
+  }
+  EXPECT_EQ(store.Read(1).version, 10u);
+  EXPECT_EQ(store.Read(1).value, 10);
+}
+
+}  // namespace
+}  // namespace planet

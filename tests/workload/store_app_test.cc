@@ -1,0 +1,157 @@
+// Tests of the web-store application workload.
+#include "workload/store_app.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+
+namespace planet {
+namespace {
+
+TEST(StoreSchema, KeySpacesDisjoint) {
+  StoreAppConfig config;
+  config.num_products = 100;
+  config.num_users = 50;
+  StoreSchema schema(config);
+  EXPECT_EQ(schema.Product(99), 99u);
+  EXPECT_EQ(schema.Cart(0), 100u);
+  EXPECT_EQ(schema.Cart(49), 149u);
+  EXPECT_EQ(schema.Profile(0), 150u);
+  EXPECT_EQ(schema.Order(0), 200u);
+}
+
+TEST(StoreTxnType, NamesDistinct) {
+  for (int a = 0; a < kNumStoreTxnTypes; ++a) {
+    for (int b = a + 1; b < kNumStoreTxnTypes; ++b) {
+      EXPECT_STRNE(StoreTxnTypeName(static_cast<StoreTxnType>(a)),
+                   StoreTxnTypeName(static_cast<StoreTxnType>(b)));
+    }
+  }
+}
+
+class StoreAppRun : public ::testing::Test {
+ protected:
+  StoreAppRun() {
+    ClusterOptions options;
+    options.seed = 555;
+    options.clients_per_dc = 2;
+    cluster_ = std::make_unique<Cluster>(options);
+    app_.num_products = 50;
+    app_.num_users = 200;
+    app_.initial_stock = 10000;
+    SeedStore(
+        app_, [&](Key k, Value v) { cluster_->SeedKey(k, v); },
+        [&](Key k, ValueBounds b) { cluster_->SeedBounds(k, b); });
+  }
+
+  void Run(Duration run_time, PlanetRunnerPolicy policy = {}) {
+    for (int i = 0; i < cluster_->num_clients(); ++i) {
+      auto gen = std::make_unique<LoadGenerator>(
+          &cluster_->sim(), cluster_->ForkRng(100 + i),
+          MakeStoreAppRunner(cluster_->planet_client(i), app_,
+                             cluster_->ForkRng(200 + i), &stats_, policy),
+          LoadGenerator::Options{});
+      gen->SetResultSink(metrics_.Sink());
+      gen->Start(run_time);
+      generators_.push_back(std::move(gen));
+    }
+    cluster_->Drain();
+  }
+
+  uint64_t TotalIssued() const {
+    uint64_t total = 0;
+    for (const auto& t : stats_.by_type) total += t.issued;
+    return total;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  StoreAppConfig app_;
+  StoreAppStats stats_;
+  RunMetrics metrics_;
+  std::vector<std::unique_ptr<LoadGenerator>> generators_;
+};
+
+TEST_F(StoreAppRun, MixRoughlyMatchesWeights) {
+  Run(Seconds(60));
+  uint64_t total = TotalIssued();
+  ASSERT_GT(total, 200u);
+  double browse_share =
+      double(stats_.For(StoreTxnType::kBrowse).issued) / double(total);
+  EXPECT_NEAR(browse_share, 0.55, 0.08);
+  double checkout_share =
+      double(stats_.For(StoreTxnType::kCheckout).issued) / double(total);
+  EXPECT_NEAR(checkout_share, 0.15, 0.06);
+}
+
+TEST_F(StoreAppRun, BrowsesAlwaysCommitInstantly) {
+  Run(Seconds(30));
+  const auto& browse = stats_.For(StoreTxnType::kBrowse);
+  ASSERT_GT(browse.issued, 50u);
+  EXPECT_EQ(browse.aborted, 0u);
+  EXPECT_LT(browse.latency.Percentile(99), Millis(5))
+      << "read-only commits never leave the local DC";
+}
+
+TEST_F(StoreAppRun, CheckoutsCommitDespiteHotProducts) {
+  Run(Seconds(60));
+  const auto& checkout = stats_.For(StoreTxnType::kCheckout);
+  ASSERT_GT(checkout.issued, 30u);
+  double rate = double(checkout.committed) /
+                double(checkout.committed + checkout.aborted);
+  EXPECT_GT(rate, 0.9) << "commutative stock decrements avoid conflicts";
+}
+
+TEST_F(StoreAppRun, StockNeverExceedsSeedAndMatchesSales) {
+  Run(Seconds(60));
+  StoreSchema schema(app_);
+  Value total_decrement = 0;
+  for (uint64_t p = 0; p < app_.num_products; ++p) {
+    Value stock = cluster_->replica(0)->store().Read(schema.Product(p)).value;
+    EXPECT_LE(stock, app_.initial_stock);
+    EXPECT_GE(stock, 0);
+    total_decrement += app_.initial_stock - stock;
+  }
+  EXPECT_EQ(total_decrement,
+            Value(stats_.For(StoreTxnType::kCheckout).committed *
+                  uint64_t(app_.checkout_items)));
+  EXPECT_TRUE(cluster_->ReplicasConverged());
+}
+
+TEST_F(StoreAppRun, StockExhaustionRejectsCheckoutsNotOversells) {
+  // Scarce stock: once products run dry, demarcation aborts checkouts but
+  // never lets any product go negative.
+  app_.initial_stock = 3;
+  app_.num_products = 10;
+  app_.weights = {0.0, 0.0, 1.0, 0.0};  // checkouts only
+  // Re-seed with the scarce configuration (overrides the fixture's seed).
+  SeedStore(
+      app_, [&](Key k, Value v) { cluster_->SeedKey(k, v); },
+      [&](Key k, ValueBounds b) { cluster_->SeedBounds(k, b); });
+  Run(Seconds(30));
+  const auto& checkout = stats_.For(StoreTxnType::kCheckout);
+  ASSERT_GT(checkout.issued, 20u);
+  EXPECT_GT(checkout.aborted, 0u) << "stock must run out";
+  StoreSchema schema(app_);
+  for (uint64_t p = 0; p < app_.num_products; ++p) {
+    EXPECT_GE(cluster_->replica(0)->store().Read(schema.Product(p)).value, 0);
+  }
+  EXPECT_TRUE(cluster_->ReplicasConverged());
+}
+
+TEST_F(StoreAppRun, DeadlinePinsUserLatencyForWrites) {
+  PlanetRunnerPolicy policy;
+  policy.speculation_deadline = Millis(100);
+  policy.speculate_threshold = 0.9;
+  policy.give_up_below = true;
+  Run(Seconds(60), policy);
+  const auto& cart = stats_.For(StoreTxnType::kAddToCart);
+  ASSERT_GT(cart.issued, 30u);
+  EXPECT_LE(cart.user_latency.Percentile(99), Millis(115));
+  // Browses are untouched by the deadline machinery.
+  EXPECT_LT(stats_.For(StoreTxnType::kBrowse).user_latency.Percentile(99),
+            Millis(5));
+}
+
+}  // namespace
+}  // namespace planet

@@ -1,0 +1,176 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/simulator.h"
+
+namespace planet {
+namespace {
+
+TEST(KeyChooser, UniformCoversSpace) {
+  WorkloadConfig config;
+  config.num_keys = 10;
+  config.dist = KeyDist::kUniform;
+  KeyChooser chooser(config);
+  Rng rng(1);
+  std::set<Key> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(chooser.Next(rng));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(KeyChooser, HotspotConcentrates) {
+  WorkloadConfig config;
+  config.num_keys = 10000;
+  config.dist = KeyDist::kHotspot;
+  config.hot_keys = 10;
+  config.hot_fraction = 0.9;
+  KeyChooser chooser(config);
+  Rng rng(2);
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (chooser.Next(rng) < 10) ++hot;
+  }
+  EXPECT_NEAR(double(hot) / n, 0.9, 0.02);
+}
+
+TEST(KeyChooser, ZipfSkewed) {
+  WorkloadConfig config;
+  config.num_keys = 1000;
+  config.dist = KeyDist::kZipf;
+  config.zipf_theta = 0.99;
+  KeyChooser chooser(config);
+  Rng rng(3);
+  int top10 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (chooser.Next(rng) < 10) ++top10;
+  }
+  EXPECT_GT(double(top10) / n, 0.2);
+}
+
+TEST(KeyChooser, DistinctKeysAreDistinct) {
+  WorkloadConfig config;
+  config.num_keys = 100;
+  config.dist = KeyDist::kZipf;  // heavy collisions at the head
+  config.zipf_theta = 0.99;
+  KeyChooser chooser(config);
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Key> keys = chooser.NextDistinct(rng, 5);
+    std::set<Key> unique(keys.begin(), keys.end());
+    EXPECT_EQ(unique.size(), 5u);
+  }
+}
+
+TEST(KeyChooser, DistinctWorksOnTinyKeySpace) {
+  WorkloadConfig config;
+  config.num_keys = 3;
+  config.dist = KeyDist::kHotspot;
+  config.hot_keys = 1;
+  config.hot_fraction = 1.0;  // everything hits key 0
+  KeyChooser chooser(config);
+  Rng rng(5);
+  std::vector<Key> keys = chooser.NextDistinct(rng, 3);
+  std::set<Key> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(LoadGenerator, ClosedLoopOneOutstanding) {
+  Simulator sim;
+  int inflight = 0, max_inflight = 0, issued = 0;
+  TxnRunner runner = [&](std::function<void(TxnResult)> done) {
+    ++issued;
+    ++inflight;
+    max_inflight = std::max(max_inflight, inflight);
+    sim.Schedule(Millis(10), [&, done] {
+      --inflight;
+      done(TxnResult{Status::OK(), Millis(10), Millis(10), false});
+    });
+  };
+  LoadGenerator gen(&sim, Rng(6), runner, LoadGenerator::Options{});
+  gen.Start(Millis(1000));
+  sim.Run();
+  EXPECT_EQ(max_inflight, 1);
+  EXPECT_NEAR(issued, 100, 2);
+  EXPECT_EQ(gen.finished(), gen.issued());
+}
+
+TEST(LoadGenerator, ClosedLoopThinkTimeSlowsIssue) {
+  Simulator sim;
+  int issued = 0;
+  TxnRunner runner = [&](std::function<void(TxnResult)> done) {
+    ++issued;
+    sim.Schedule(Millis(1), [done] {
+      done(TxnResult{Status::OK(), Millis(1), Millis(1), false});
+    });
+  };
+  LoadGenerator::Options options;
+  options.think_time_mean = Millis(19);
+  LoadGenerator gen(&sim, Rng(7), runner, options);
+  gen.Start(Seconds(2));
+  sim.Run();
+  // ~2000ms / (1ms txn + ~19ms think) ~ 100.
+  EXPECT_NEAR(issued, 100, 35);
+}
+
+TEST(LoadGenerator, OpenLoopPoissonRate) {
+  Simulator sim;
+  int issued = 0, inflight = 0, max_inflight = 0;
+  TxnRunner runner = [&](std::function<void(TxnResult)> done) {
+    ++issued;
+    ++inflight;
+    max_inflight = std::max(max_inflight, inflight);
+    sim.Schedule(Millis(200), [&, done] {
+      --inflight;
+      done(TxnResult{Status::OK(), Millis(200), Millis(200), false});
+    });
+  };
+  LoadGenerator::Options options;
+  options.rate_per_sec = 50;
+  LoadGenerator gen(&sim, Rng(8), runner, options);
+  gen.Start(Seconds(10));
+  sim.Run();
+  EXPECT_NEAR(issued, 500, 80);
+  EXPECT_GT(max_inflight, 2) << "open loop must overlap transactions";
+}
+
+TEST(LoadGenerator, StopsAtEndTime) {
+  Simulator sim;
+  SimTime last_issue = 0;
+  TxnRunner runner = [&](std::function<void(TxnResult)> done) {
+    last_issue = sim.Now();
+    sim.Schedule(Millis(1), [done] {
+      done(TxnResult{Status::OK(), Millis(1), Millis(1), false});
+    });
+  };
+  LoadGenerator gen(&sim, Rng(9), runner, LoadGenerator::Options{});
+  gen.Start(Millis(500));
+  sim.Run();
+  EXPECT_LT(last_issue, Millis(500));
+  EXPECT_GT(sim.Now(), 0);
+}
+
+TEST(LoadGenerator, ResultSinkSeesEverything) {
+  Simulator sim;
+  int sunk = 0;
+  TxnRunner runner = [&](std::function<void(TxnResult)> done) {
+    sim.Schedule(Millis(5), [done] {
+      done(TxnResult{Status::Aborted("x"), Millis(5), Millis(5), false});
+    });
+  };
+  LoadGenerator gen(&sim, Rng(10), runner, LoadGenerator::Options{});
+  gen.SetResultSink([&](const TxnResult& r) {
+    EXPECT_TRUE(r.status.IsAborted());
+    ++sunk;
+  });
+  gen.Start(Millis(100));
+  sim.Run();
+  EXPECT_EQ(static_cast<uint64_t>(sunk), gen.finished());
+  EXPECT_GT(sunk, 5);
+}
+
+}  // namespace
+}  // namespace planet

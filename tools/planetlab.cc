@@ -1,0 +1,322 @@
+// planetlab — command-line experiment runner for the PLANET stack.
+//
+// Runs a configurable workload on a simulated multi-DC deployment and prints
+// outcome/latency tables. Everything the bench binaries do, but parameterized
+// from the command line, so downstream users can explore the design space
+// without writing C++.
+//
+// Examples:
+//   planetlab                                   # defaults: PLANET, 5 DCs
+//   planetlab --stack 2pc --keys 100            # contended 2PC baseline
+//   planetlab --deadline 100 --threshold 0.9 --giveup
+//   planetlab --admission 0.4 --keys 50 --rate 20
+//   planetlab --spike 1:20:40:250               # +250ms on DC 1, t=20..40s
+//   planetlab --dist zipf --theta 0.99 --commutative
+//   planetlab --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baseline/tpc.h"
+#include "common/table.h"
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+#include "workload/runners.h"
+
+using namespace planet;
+
+namespace {
+
+struct Args {
+  int dcs = 5;
+  int clients_per_dc = 2;
+  uint64_t seed = 42;
+  int duration_s = 60;
+  // workload
+  uint64_t keys = 100000;
+  std::string dist = "uniform";
+  double theta = 0.99;
+  uint64_t hot_keys = 100;
+  double hot_frac = 0.9;
+  int reads = 1;
+  int writes = 2;
+  bool commutative = false;
+  // driver
+  double rate = 0;      // open loop per client if > 0
+  int think_ms = 0;     // closed loop think time
+  // stack
+  std::string stack = "planet";
+  // PLANET policy
+  int deadline_ms = 0;
+  double threshold = -1;
+  bool giveup = false;
+  double admission = 0;
+  // spike: dc:start_s:end_s:extra_ms
+  bool spike = false;
+  int spike_dc = 0, spike_start = 0, spike_end = 0, spike_extra_ms = 0;
+  bool csv = false;
+  bool verbose = false;
+};
+
+void Usage() {
+  std::printf(R"(planetlab - PLANET experiment runner
+
+cluster:    --dcs N           data centers (5 uses the realistic WAN preset,
+                              anything else is uniform 50ms)
+            --clients-per-dc N
+            --seed S          deterministic seed
+            --duration S      simulated seconds of load
+workload:   --keys N          key-space size
+            --dist D          uniform | zipf | hotspot
+            --theta X         zipf skew
+            --hot-keys N --hot-frac X
+            --reads N --writes N
+            --commutative     Add() deltas instead of physical RMW
+driver:     --rate R          open-loop arrivals/s per client
+            --think MS        closed-loop think time (default closed, 0ms)
+stack:      --stack S         planet | mdcc | 2pc
+planet:     --deadline MS     speculation deadline
+            --threshold X     speculate when likelihood >= X
+            --giveup          below threshold, notify "pending"
+            --admission TAU   enable admission control
+faults:     --spike DC:START:END:MS   latency spike on one DC
+output:     --csv             also print CSV
+            --verbose         extra diagnostics
+)");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      Usage();
+      exit(0);
+    } else if (a == "--dcs") {
+      args->dcs = atoi(need(i));
+    } else if (a == "--clients-per-dc") {
+      args->clients_per_dc = atoi(need(i));
+    } else if (a == "--seed") {
+      args->seed = strtoull(need(i), nullptr, 10);
+    } else if (a == "--duration") {
+      args->duration_s = atoi(need(i));
+    } else if (a == "--keys") {
+      args->keys = strtoull(need(i), nullptr, 10);
+    } else if (a == "--dist") {
+      args->dist = need(i);
+    } else if (a == "--theta") {
+      args->theta = atof(need(i));
+    } else if (a == "--hot-keys") {
+      args->hot_keys = strtoull(need(i), nullptr, 10);
+    } else if (a == "--hot-frac") {
+      args->hot_frac = atof(need(i));
+    } else if (a == "--reads") {
+      args->reads = atoi(need(i));
+    } else if (a == "--writes") {
+      args->writes = atoi(need(i));
+    } else if (a == "--commutative") {
+      args->commutative = true;
+    } else if (a == "--rate") {
+      args->rate = atof(need(i));
+    } else if (a == "--think") {
+      args->think_ms = atoi(need(i));
+    } else if (a == "--stack") {
+      args->stack = need(i);
+    } else if (a == "--deadline") {
+      args->deadline_ms = atoi(need(i));
+    } else if (a == "--threshold") {
+      args->threshold = atof(need(i));
+    } else if (a == "--giveup") {
+      args->giveup = true;
+    } else if (a == "--admission") {
+      args->admission = atof(need(i));
+    } else if (a == "--spike") {
+      args->spike = true;
+      if (sscanf(need(i), "%d:%d:%d:%d", &args->spike_dc, &args->spike_start,
+                 &args->spike_end, &args->spike_extra_ms) != 4) {
+        std::fprintf(stderr, "--spike wants DC:START:END:MS\n");
+        return false;
+      }
+    } else if (a == "--csv") {
+      args->csv = true;
+    } else if (a == "--verbose") {
+      args->verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+WorkloadConfig MakeWorkload(const Args& args) {
+  WorkloadConfig wl;
+  wl.num_keys = args.keys;
+  if (args.dist == "zipf") {
+    wl.dist = KeyDist::kZipf;
+  } else if (args.dist == "hotspot") {
+    wl.dist = KeyDist::kHotspot;
+  } else {
+    wl.dist = KeyDist::kUniform;
+  }
+  wl.zipf_theta = args.theta;
+  wl.hot_keys = args.hot_keys;
+  wl.hot_fraction = args.hot_frac;
+  wl.reads_per_txn = args.reads;
+  wl.writes_per_txn = args.writes;
+  wl.commutative = args.commutative;
+  return wl;
+}
+
+void PrintSummary(const Args& args, const RunMetrics& m,
+                  const PlanetStats* planet_stats) {
+  Duration run = Seconds(args.duration_s);
+  Table outcomes({"metric", "value"});
+  outcomes.AddRow({"finished", Table::FmtInt((long long)m.finished())});
+  outcomes.AddRow({"committed", Table::FmtInt((long long)m.committed)});
+  outcomes.AddRow({"aborted", Table::FmtInt((long long)m.aborted)});
+  outcomes.AddRow({"unavailable", Table::FmtInt((long long)m.unavailable)});
+  outcomes.AddRow({"rejected (admission)", Table::FmtInt((long long)m.rejected)});
+  outcomes.AddRow({"commit rate", Table::FmtPct(m.CommitRate())});
+  outcomes.AddRow({"goodput/s", Table::Fmt(m.Goodput(run), 2)});
+  if (planet_stats != nullptr) {
+    outcomes.AddRow({"speculated",
+                     Table::FmtInt((long long)planet_stats->speculated)});
+    outcomes.AddRow({"apologies",
+                     Table::FmtInt((long long)planet_stats->apologies)});
+    outcomes.AddRow({"apology rate",
+                     Table::Fmt(planet_stats->ApologyRate(), 4)});
+    outcomes.AddRow({"gave up",
+                     Table::FmtInt((long long)planet_stats->gave_up)});
+  }
+  outcomes.Print("outcomes", args.csv);
+
+  Table latency({"percentile", "definitive", "user-perceived"});
+  for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    latency.AddRow({Table::Fmt(p, 1), Table::FmtUs(m.latency_all.Percentile(p)),
+                    Table::FmtUs(m.user_latency.Percentile(p))});
+  }
+  latency.Print("latency", args.csv);
+}
+
+int RunTpc(const Args& args) {
+  TpcClusterOptions options;
+  options.seed = args.seed;
+  options.tpc.num_dcs = args.dcs;
+  options.wan = args.dcs == 5 ? FiveDcWan() : UniformWan(args.dcs, 50.0);
+  options.clients_per_dc = args.clients_per_dc;
+  TpcCluster cluster(options);
+  if (args.spike) {
+    std::fprintf(stderr, "note: --spike applies to the mdcc/planet stacks\n");
+  }
+  WorkloadConfig wl = MakeWorkload(args);
+  RunMetrics metrics;
+  LoadGenerator::Options load;
+  load.rate_per_sec = args.rate;
+  load.think_time_mean = Millis(args.think_ms);
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + i),
+        MakeTpcRunner(cluster.client(i), wl, cluster.ForkRng(200 + i)), load);
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(args.duration_s));
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+  PrintSummary(args, metrics, nullptr);
+  std::printf("replicas converged: %s\n",
+              cluster.ReplicasConverged() ? "yes" : "NO");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  if (args.verbose) logging::SetLevel(LogLevel::kInfo);
+
+  if (args.stack == "2pc") return RunTpc(args);
+
+  ClusterOptions options;
+  options.seed = args.seed;
+  options.mdcc.num_dcs = args.dcs;
+  options.wan = args.dcs == 5 ? FiveDcWan() : UniformWan(args.dcs, 50.0);
+  options.clients_per_dc = args.clients_per_dc;
+  options.planet.enable_admission = args.admission > 0;
+  options.planet.admission_threshold = args.admission;
+  Cluster cluster(options);
+  cluster.sim().InstallLogTimeSource();
+
+  if (args.spike) {
+    cluster.sim().ScheduleAt(Seconds(args.spike_start), [&] {
+      DcDegradation deg;
+      deg.extra_median = Millis(args.spike_extra_ms);
+      deg.extra_sigma = 0.2;
+      cluster.net().SetDegradation(args.spike_dc, deg);
+    });
+    cluster.sim().ScheduleAt(Seconds(args.spike_end), [&] {
+      cluster.net().ClearDegradation(args.spike_dc);
+    });
+  }
+
+  WorkloadConfig wl = MakeWorkload(args);
+  RunMetrics metrics;
+  LoadGenerator::Options load;
+  load.rate_per_sec = args.rate;
+  load.think_time_mean = Millis(args.think_ms);
+
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    TxnRunner runner;
+    if (args.stack == "mdcc") {
+      runner = MakeMdccRunner(cluster.client(i), wl, cluster.ForkRng(200 + i));
+    } else if (args.stack == "planet") {
+      PlanetRunnerPolicy policy;
+      policy.speculation_deadline = Millis(args.deadline_ms);
+      policy.speculate_threshold = args.threshold;
+      policy.give_up_below = args.giveup;
+      runner = MakePlanetRunner(cluster.planet_client(i), wl,
+                                cluster.ForkRng(200 + i), policy);
+    } else {
+      std::fprintf(stderr, "unknown stack %s\n", args.stack.c_str());
+      return 2;
+    }
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + i), std::move(runner), load);
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(args.duration_s));
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+
+  PrintSummary(args, metrics,
+               args.stack == "planet" ? &cluster.context().stats() : nullptr);
+  if (args.verbose && args.stack == "planet") {
+    LatencyModel& lm = cluster.context().latency_model();
+    Table rtts({"client dc", "replica dc", "rtt p50", "rtt p99", "samples"});
+    for (DcId a = 0; a < args.dcs; ++a) {
+      for (DcId b = 0; b < args.dcs; ++b) {
+        const Histogram& h = lm.HistogramFor(a, b);
+        if (h.count() == 0) continue;
+        rtts.AddRow({options.wan.dc_names[size_t(a)],
+                     options.wan.dc_names[size_t(b)],
+                     Table::FmtUs(h.Percentile(50)),
+                     Table::FmtUs(h.Percentile(99)),
+                     Table::FmtInt((long long)h.count())});
+      }
+    }
+    rtts.Print("learned RTT model", args.csv);
+  }
+  std::printf("replicas converged: %s\n",
+              cluster.ReplicasConverged() ? "yes" : "NO");
+  return 0;
+}
