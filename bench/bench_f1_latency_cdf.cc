@@ -9,6 +9,7 @@
 // Expected shape: fast < classic < 2PC at every percentile.
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
@@ -24,26 +25,40 @@ WorkloadConfig LowContention() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_f1_latency_cdf");
   const Duration kRun = Seconds(600);
   WorkloadConfig wl = LowContention();
 
-  ClusterOptions fast_options;
-  fast_options.seed = 11;
-  fast_options.clients_per_dc = 2;
-  Cluster fast_cluster(fast_options);
-  RunMetrics fast = bench::RunMdcc(fast_cluster, wl, kRun);
+  std::vector<std::function<RunMetrics()>> points;
+  points.push_back([wl, kRun] {
+    ClusterOptions options;
+    options.seed = 11;
+    options.clients_per_dc = 2;
+    Cluster cluster(options);
+    return bench::RunMdcc(cluster, wl, kRun);
+  });
+  points.push_back([wl, kRun] {
+    ClusterOptions options;
+    options.seed = 11;
+    options.clients_per_dc = 2;
+    options.mdcc.force_classic = true;
+    Cluster cluster(options);
+    return bench::RunMdcc(cluster, wl, kRun);
+  });
+  points.push_back([wl, kRun] {
+    TpcClusterOptions options;
+    options.seed = 11;
+    options.clients_per_dc = 2;
+    TpcCluster cluster(options);
+    return bench::RunTpc(cluster, wl, kRun);
+  });
 
-  ClusterOptions classic_options = fast_options;
-  classic_options.mdcc.force_classic = true;
-  Cluster classic_cluster(classic_options);
-  RunMetrics classic = bench::RunMdcc(classic_cluster, wl, kRun);
-
-  TpcClusterOptions tpc_options;
-  tpc_options.seed = 11;
-  tpc_options.clients_per_dc = 2;
-  TpcCluster tpc_cluster(tpc_options);
-  RunMetrics tpc = bench::RunTpc(tpc_cluster, wl, kRun);
+  SweepRunner runner(opts);
+  std::vector<RunMetrics> results = runner.Run(std::move(points));
+  const RunMetrics& fast = results[0];
+  const RunMetrics& classic = results[1];
+  const RunMetrics& tpc = results[2];
 
   Table table({"percentile", "mdcc-fast", "mdcc-classic", "2pc"});
   for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
@@ -65,5 +80,15 @@ int main() {
                  Table::FmtInt((long long)tpc.aborted),
                  Table::FmtUs((long long)tpc.latency_committed.Mean())});
   counts.Print("F1: totals");
+
+  MetricsJson json("f1_latency_cdf");
+  const char* stacks[] = {"mdcc-fast", "mdcc-classic", "2pc"};
+  for (size_t i = 0; i < results.size(); ++i) {
+    MetricsJson::Point point(stacks[i]);
+    point.Param("stack", std::string(stacks[i]));
+    point.Metrics(results[i], kRun);
+    json.Add(std::move(point));
+  }
+  ExportMetricsJson(opts, json);
   return 0;
 }

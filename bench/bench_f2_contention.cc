@@ -7,33 +7,57 @@
 // (locks held across two wide-area phases vs optimistic options).
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
-int main() {
+namespace {
+
+WorkloadConfig MakeWorkload(uint64_t keys) {
+  WorkloadConfig wl;
+  wl.num_keys = keys;
+  wl.reads_per_txn = keys >= 4 ? 1 : 0;
+  wl.writes_per_txn = keys >= 2 ? 2 : 1;
+  return wl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_f2_contention");
   const Duration kRun = Seconds(240);
   const int kClientsPerDc = 4;
+  const std::vector<uint64_t> kKeyCounts = {10240, 1024, 256, 64, 16, 4, 1};
+
+  // Two points per key count: [2*i] MDCC, [2*i+1] 2PC.
+  std::vector<std::function<RunMetrics()>> points;
+  for (uint64_t keys : kKeyCounts) {
+    points.push_back([keys, kRun] {
+      ClusterOptions options;
+      options.seed = 21;
+      options.clients_per_dc = kClientsPerDc;
+      Cluster cluster(options);
+      return bench::RunMdcc(cluster, MakeWorkload(keys), kRun);
+    });
+    points.push_back([keys, kRun] {
+      TpcClusterOptions options;
+      options.seed = 21;
+      options.clients_per_dc = kClientsPerDc;
+      TpcCluster cluster(options);
+      return bench::RunTpc(cluster, MakeWorkload(keys), kRun);
+    });
+  }
+
+  SweepRunner runner(opts);
+  std::vector<RunMetrics> results = runner.Run(std::move(points));
+
   Table table({"hot keys", "mdcc commit%", "mdcc gput/s", "mdcc p50",
                "2pc commit%", "2pc gput/s", "2pc p50"});
-
-  for (uint64_t keys : {10240ULL, 1024ULL, 256ULL, 64ULL, 16ULL, 4ULL, 1ULL}) {
-    WorkloadConfig wl;
-    wl.num_keys = keys;
-    wl.reads_per_txn = keys >= 4 ? 1 : 0;
-    wl.writes_per_txn = keys >= 2 ? 2 : 1;
-
-    ClusterOptions mdcc_options;
-    mdcc_options.seed = 21;
-    mdcc_options.clients_per_dc = kClientsPerDc;
-    Cluster mdcc_cluster(mdcc_options);
-    RunMetrics mdcc = bench::RunMdcc(mdcc_cluster, wl, kRun);
-
-    TpcClusterOptions tpc_options;
-    tpc_options.seed = 21;
-    tpc_options.clients_per_dc = kClientsPerDc;
-    TpcCluster tpc_cluster(tpc_options);
-    RunMetrics tpc = bench::RunTpc(tpc_cluster, wl, kRun);
-
+  MetricsJson json("f2_contention");
+  for (size_t i = 0; i < kKeyCounts.size(); ++i) {
+    uint64_t keys = kKeyCounts[i];
+    const RunMetrics& mdcc = results[2 * i];
+    const RunMetrics& tpc = results[2 * i + 1];
     table.AddRow({Table::FmtInt((long long)keys),
                   Table::FmtPct(mdcc.CommitRate()),
                   Table::Fmt(mdcc.Goodput(kRun), 1),
@@ -41,9 +65,18 @@ int main() {
                   Table::FmtPct(tpc.CommitRate()),
                   Table::Fmt(tpc.Goodput(kRun), 1),
                   Table::FmtUs(tpc.latency_committed.Percentile(50))});
+    for (const char* stack : {"mdcc", "2pc"}) {
+      MetricsJson::Point point("keys=" + std::to_string(keys) +
+                               " stack=" + stack);
+      point.Param("hot_keys", (long long)keys);
+      point.Param("stack", std::string(stack));
+      point.Metrics(stack == std::string("mdcc") ? mdcc : tpc, kRun);
+      json.Add(std::move(point));
+    }
   }
   table.Print("F2: commit rate & goodput vs hot-key count "
               "(20 closed-loop clients, 5 DCs)",
               true);
+  ExportMetricsJson(opts, json);
   return 0;
 }

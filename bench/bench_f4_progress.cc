@@ -10,61 +10,89 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
-int main() {
-  ClusterOptions options;
-  options.seed = 41;
-  options.clients_per_dc = 3;
-  Cluster cluster(options);
+namespace {
 
-  WorkloadConfig wl;
-  wl.num_keys = 120;  // contended: a healthy mix of commits and aborts
-  wl.reads_per_txn = 1;
-  wl.writes_per_txn = 2;
+constexpr int kMaxVotes = 11;  // 2 options x 5 replicas + decided snapshot
 
-  // aggregates[votes] -> (sum, count) per outcome.
-  constexpr int kMaxVotes = 11;  // 2 options x 5 replicas + decided snapshot
-  struct Agg {
-    double sum = 0;
-    uint64_t n = 0;
-  };
-  std::vector<Agg> commit_agg(kMaxVotes), abort_agg(kMaxVotes);
+struct Agg {
+  double sum = 0;
+  uint64_t n = 0;
+};
 
-  PlanetRunnerPolicy policy;
-  policy.on_trace = [&](const std::vector<TxnProgress>& trace,
-                        const TxnResult& result) {
-    if (result.status.IsUnavailable() || result.status.IsRejected()) return;
-    auto& agg = result.status.ok() ? commit_agg : abort_agg;
-    // Last snapshot per vote count (the freshest estimate at that progress).
-    double last[kMaxVotes];
-    bool seen[kMaxVotes] = {};
-    for (const TxnProgress& p : trace) {
-      if (p.stage == PlanetStage::kCommitted ||
-          p.stage == PlanetStage::kAborted) {
-        continue;  // decision itself saturates the estimate
+struct F4Result {
+  std::vector<Agg> commit_agg;
+  std::vector<Agg> abort_agg;
+  RunMetrics metrics;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_f4_progress");
+
+  std::vector<std::function<F4Result()>> points;
+  points.push_back([] {
+    ClusterOptions options;
+    options.seed = 41;
+    options.clients_per_dc = 3;
+    Cluster cluster(options);
+
+    WorkloadConfig wl;
+    wl.num_keys = 120;  // contended: a healthy mix of commits and aborts
+    wl.reads_per_txn = 1;
+    wl.writes_per_txn = 2;
+
+    F4Result result;
+    result.commit_agg.resize(kMaxVotes);
+    result.abort_agg.resize(kMaxVotes);
+
+    PlanetRunnerPolicy policy;
+    policy.on_trace = [&result](const std::vector<TxnProgress>& trace,
+                                const TxnResult& txn_result) {
+      if (txn_result.status.IsUnavailable() ||
+          txn_result.status.IsRejected()) {
+        return;
       }
-      if (p.votes_received < kMaxVotes) {
-        last[p.votes_received] = p.likelihood;
-        seen[p.votes_received] = true;
+      auto& agg =
+          txn_result.status.ok() ? result.commit_agg : result.abort_agg;
+      // Last snapshot per vote count (the freshest estimate at that
+      // progress).
+      double last[kMaxVotes];
+      bool seen[kMaxVotes] = {};
+      for (const TxnProgress& p : trace) {
+        if (p.stage == PlanetStage::kCommitted ||
+            p.stage == PlanetStage::kAborted) {
+          continue;  // decision itself saturates the estimate
+        }
+        if (p.votes_received < kMaxVotes) {
+          last[p.votes_received] = p.likelihood;
+          seen[p.votes_received] = true;
+        }
       }
-    }
-    for (int v = 0; v < kMaxVotes; ++v) {
-      if (seen[v]) {
-        agg[size_t(v)].sum += last[v];
-        ++agg[size_t(v)].n;
+      for (int v = 0; v < kMaxVotes; ++v) {
+        if (seen[v]) {
+          agg[size_t(v)].sum += last[v];
+          ++agg[size_t(v)].n;
+        }
       }
-    }
-  };
+    };
 
-  RunMetrics metrics = bench::RunPlanet(cluster, wl, Seconds(300), policy);
+    result.metrics = bench::RunPlanet(cluster, wl, Seconds(300), policy);
+    return result;
+  });
+
+  SweepRunner runner(opts);
+  F4Result result = std::move(runner.Run(std::move(points))[0]);
 
   Table table({"votes seen", "committers avg L", "n", "aborters avg L", "n",
                "separation"});
   for (int v = 0; v < kMaxVotes; ++v) {
-    const Agg& c = commit_agg[size_t(v)];
-    const Agg& a = abort_agg[size_t(v)];
+    const Agg& c = result.commit_agg[size_t(v)];
+    const Agg& a = result.abort_agg[size_t(v)];
     if (c.n == 0 && a.n == 0) continue;
     double lc = c.n ? c.sum / double(c.n) : 0;
     double la = a.n ? a.sum / double(a.n) : 0;
@@ -80,9 +108,28 @@ int main() {
       true);
 
   Table totals({"committed", "aborted", "commit rate"});
-  totals.AddRow({Table::FmtInt((long long)metrics.committed),
-                 Table::FmtInt((long long)metrics.aborted),
-                 Table::FmtPct(metrics.CommitRate())});
+  totals.AddRow({Table::FmtInt((long long)result.metrics.committed),
+                 Table::FmtInt((long long)result.metrics.aborted),
+                 Table::FmtPct(result.metrics.CommitRate())});
   totals.Print("F4: workload totals");
+
+  MetricsJson json("f4_progress");
+  MetricsJson::Point point("progress-trajectories");
+  point.Param("keys", 120LL);
+  point.Metrics(result.metrics, Seconds(300));
+  for (int v = 0; v < kMaxVotes; ++v) {
+    const Agg& c = result.commit_agg[size_t(v)];
+    const Agg& a = result.abort_agg[size_t(v)];
+    if (c.n == 0 && a.n == 0) continue;
+    std::string tag = "votes" + std::to_string(v);
+    if (c.n) {
+      point.Scalar("committers_avg_likelihood_" + tag, c.sum / double(c.n));
+    }
+    if (a.n) {
+      point.Scalar("aborters_avg_likelihood_" + tag, a.sum / double(a.n));
+    }
+  }
+  json.Add(std::move(point));
+  ExportMetricsJson(opts, json);
   return 0;
 }

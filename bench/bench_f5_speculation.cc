@@ -9,28 +9,32 @@
 // bounded by 1 - threshold, and falls as the threshold rises.
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
 namespace {
 
-struct Row {
-  Duration deadline;
-  double threshold;
+WorkloadConfig MakeWorkload() {
+  WorkloadConfig wl;
+  wl.num_keys = 150;  // contended enough that speculation is risky
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 2;
+  return wl;
+}
+
+struct F5Result {
   RunMetrics metrics;
   PlanetStats stats;
 };
 
-Row RunOne(Duration deadline, double threshold) {
+F5Result RunOne(Duration deadline, double threshold) {
   ClusterOptions options;
   options.seed = 51;
   options.clients_per_dc = 3;
   Cluster cluster(options);
 
-  WorkloadConfig wl;
-  wl.num_keys = 150;  // contended enough that speculation is risky
-  wl.reads_per_txn = 1;
-  wl.writes_per_txn = 2;
+  WorkloadConfig wl = MakeWorkload();
 
   PlanetRunnerPolicy policy;
   policy.speculation_deadline = deadline;
@@ -42,43 +46,62 @@ Row RunOne(Duration deadline, double threshold) {
   bench::RunPlanet(cluster, wl, Seconds(60), policy);
   cluster.context().stats().Reset();
 
-  Row row;
-  row.deadline = deadline;
-  row.threshold = threshold;
-  row.metrics = bench::RunPlanet(cluster, wl, Seconds(240), policy);
-  row.stats = cluster.context().stats();
-  return row;
+  F5Result result;
+  result.metrics = bench::RunPlanet(cluster, wl, Seconds(240), policy);
+  result.stats = cluster.context().stats();
+  return result;
 }
 
 }  // namespace
 
-int main() {
-  Table table({"deadline", "threshold", "user p50", "user p99", "final p50",
-               "speculated%", "apology rate", "gave up%", "commit%"});
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_f5_speculation");
+  const std::vector<Duration> kDeadlines = {Millis(50), Millis(100)};
+  const std::vector<double> kThresholds = {0.5, 0.8, 0.9, 0.95, 0.99};
 
-  // Baseline: no speculation at all.
-  {
+  // Point 0 is the no-speculation baseline; then deadline x threshold.
+  std::vector<std::function<F5Result()>> points;
+  points.push_back([] {
     ClusterOptions options;
     options.seed = 51;
     options.clients_per_dc = 3;
     Cluster cluster(options);
-    WorkloadConfig wl;
-    wl.num_keys = 150;
-    wl.reads_per_txn = 1;
-    wl.writes_per_txn = 2;
-    RunMetrics m = bench::RunPlanet(cluster, wl, Seconds(240));
+    F5Result result;
+    result.metrics = bench::RunPlanet(cluster, MakeWorkload(), Seconds(240));
+    result.stats = cluster.context().stats();
+    return result;
+  });
+  for (Duration deadline : kDeadlines) {
+    for (double threshold : kThresholds) {
+      points.push_back(
+          [deadline, threshold] { return RunOne(deadline, threshold); });
+    }
+  }
+
+  SweepRunner runner(opts);
+  std::vector<F5Result> results = runner.Run(std::move(points));
+
+  Table table({"deadline", "threshold", "user p50", "user p99", "final p50",
+               "speculated%", "apology rate", "gave up%", "commit%"});
+  MetricsJson json("f5_speculation");
+  {
+    const RunMetrics& m = results[0].metrics;
     table.AddRow({"none", "-", Table::FmtUs(m.user_latency.Percentile(50)),
                   Table::FmtUs(m.user_latency.Percentile(99)),
                   Table::FmtUs(m.latency_all.Percentile(50)), "0.0%", "-",
                   "0.0%", Table::FmtPct(m.CommitRate())});
+    MetricsJson::Point point("no-speculation");
+    point.Param("deadline_ms", 0LL);
+    point.Metrics(m, Seconds(240));
+    json.Add(std::move(point));
   }
 
-  for (Duration deadline : {Millis(50), Millis(100)}) {
-    for (double threshold : {0.5, 0.8, 0.9, 0.95, 0.99}) {
-      Row row = RunOne(deadline, threshold);
-      double total =
-          double(row.stats.committed + row.stats.aborted +
-                 row.stats.unavailable);
+  size_t idx = 1;
+  for (Duration deadline : kDeadlines) {
+    for (double threshold : kThresholds) {
+      const F5Result& row = results[idx++];
+      double total = double(row.stats.committed + row.stats.aborted +
+                            row.stats.unavailable);
       double spec_share =
           total > 0 ? double(row.stats.speculated) / total : 0.0;
       double gave_up_share =
@@ -91,9 +114,19 @@ int main() {
            Table::FmtPct(spec_share), Table::Fmt(row.stats.ApologyRate(), 4),
            Table::FmtPct(gave_up_share),
            Table::FmtPct(row.metrics.CommitRate())});
+
+      MetricsJson::Point point(
+          "deadline=" + std::to_string(deadline / 1000) +
+          "ms threshold=" + Table::Fmt(threshold, 2));
+      point.Param("deadline_ms", (long long)(deadline / 1000));
+      point.Param("threshold", threshold);
+      point.Metrics(row.metrics, Seconds(240));
+      point.Speculation(row.stats);
+      json.Add(std::move(point));
     }
   }
   table.Print(
       "F5: speculation sweep (user-perceived latency vs apology rate)", true);
+  ExportMetricsJson(opts, json);
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
@@ -122,18 +123,34 @@ RetryStats RunOne(double rate_per_client, double tau, Duration run_time) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_f6_admission");
   const Duration kRun = Seconds(60);
+  const std::vector<double> kRates = {1.0, 4.0, 16.0, 32.0};
+  const std::vector<double> kTaus = {0.0, 0.3, 0.6};
+
+  std::vector<std::function<RetryStats()>> points;
+  for (double rate : kRates) {
+    for (double tau : kTaus) {
+      points.push_back([rate, tau, kRun] { return RunOne(rate, tau, kRun); });
+    }
+  }
+
+  SweepRunner runner(opts);
+  std::vector<RetryStats> results = runner.Run(std::move(points));
+
   Table table({"offered req/s", "tau", "success/s", "success%",
                "attempts/success", "wasted aborts/s", "rejects/s",
                "time-to-success p50", "p95"});
-  for (double rate : {1.0, 4.0, 16.0, 32.0}) {
-    for (double tau : {0.0, 0.3, 0.6}) {
-      RetryStats s = RunOne(rate, tau, kRun);
+  MetricsJson json("f6_admission");
+  size_t idx = 0;
+  for (double rate : kRates) {
+    for (double tau : kTaus) {
+      const RetryStats& s = results[idx++];
       double offered = rate * 10;  // 10 clients
       double secs = double(kRun) / 1e6;
       uint64_t proposed = s.attempts - s.rejected_attempts;
-      uint64_t wasted = proposed - s.succeeded;  // proposed but not committed
+      uint64_t wasted = proposed - s.succeeded;  // proposed, not committed
       table.AddRow(
           {Table::Fmt(offered, 0), tau == 0 ? "off" : Table::Fmt(tau, 1),
            Table::Fmt(double(s.succeeded) / secs, 2),
@@ -143,11 +160,25 @@ int main() {
            Table::Fmt(double(s.rejected_attempts) / secs, 2),
            Table::FmtUs(s.time_to_success.Percentile(50)),
            Table::FmtUs(s.time_to_success.Percentile(95))});
+
+      MetricsJson::Point point("offered=" + Table::Fmt(offered, 0) +
+                               " tau=" + Table::Fmt(tau, 1));
+      point.Param("offered_per_s", offered);
+      point.Param("tau", tau);
+      point.Scalar("requests", double(s.requests));
+      point.Scalar("succeeded", double(s.succeeded));
+      point.Scalar("failed", double(s.failed));
+      point.Scalar("attempts", double(s.attempts));
+      point.Scalar("rejected_attempts", double(s.rejected_attempts));
+      point.Scalar("success_per_s", double(s.succeeded) / secs);
+      point.Hist("time_to_success", s.time_to_success);
+      json.Add(std::move(point));
     }
   }
   table.Print(
       "F6: request goodput under retries, admission control on hot 60-key "
       "set (open loop, 10 clients, 5 DCs)",
       true);
+  ExportMetricsJson(opts, json);
   return 0;
 }

@@ -9,67 +9,123 @@
 // never drive the value below the bound.
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
-int main() {
+namespace {
+
+RunMetrics RunCounters(uint64_t keys, bool commutative, Duration run) {
+  WorkloadConfig wl;
+  wl.num_keys = keys;
+  wl.reads_per_txn = 0;
+  wl.writes_per_txn = 1;
+  wl.commutative = commutative;
+
+  ClusterOptions options;
+  options.seed = 81;
+  options.clients_per_dc = 3;
+  Cluster cluster(options);
+  return bench::RunMdcc(cluster, wl, run);
+}
+
+struct DemarcationResult {
+  long long attempts = 0;
+  long long commits = 0;
+  long long bounds_aborts = 0;
+  long long final_value = 0;
+};
+
+// Demarcation: 15 clients repeatedly decrement a stock of 40 units with
+// bounds [0, inf). Exactly 40 decrements may commit.
+DemarcationResult RunDemarcation() {
+  ClusterOptions options;
+  options.seed = 82;
+  options.clients_per_dc = 3;
+  Cluster cluster(options);
+  cluster.SeedKey(0, 40);
+  cluster.SeedBounds(0, ValueBounds{0, 1LL << 40});
+
+  DemarcationResult result;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < cluster.num_clients(); ++i) {
+      Client* c = cluster.client(i);
+      TxnId txn = c->Begin();
+      PLANET_CHECK(c->Add(txn, 0, -1).ok());
+      c->Commit(txn, [&](Status s) {
+        s.ok() ? ++result.commits : ++result.bounds_aborts;
+      });
+    }
+    cluster.Drain();
+  }
+  result.attempts = 6 * cluster.num_clients();
+  result.final_value = cluster.replica(0)->store().Read(0).value;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_f7_commutative");
   const Duration kRun = Seconds(180);
+  const std::vector<uint64_t> kKeyCounts = {32, 8, 2, 1};
+
+  // Two points per key count (physical, commutative).
+  std::vector<std::function<RunMetrics()>> points;
+  for (uint64_t keys : kKeyCounts) {
+    points.push_back([keys, kRun] { return RunCounters(keys, false, kRun); });
+    points.push_back([keys, kRun] { return RunCounters(keys, true, kRun); });
+  }
+
+  SweepRunner runner(opts);
+  std::vector<RunMetrics> results = runner.Run(std::move(points));
+  // The demarcation audit is one more independent point.
+  std::vector<std::function<DemarcationResult()>> demarcation_points;
+  demarcation_points.push_back([] { return RunDemarcation(); });
+  DemarcationResult stock_result =
+      runner.Run(std::move(demarcation_points))[0];
+
   Table table({"hot keys", "physical commit%", "physical gput/s",
                "commutative commit%", "commutative gput/s"});
-
-  for (uint64_t keys : {32ULL, 8ULL, 2ULL, 1ULL}) {
-    WorkloadConfig wl;
-    wl.num_keys = keys;
-    wl.reads_per_txn = 0;
-    wl.writes_per_txn = 1;
-
-    ClusterOptions options;
-    options.seed = 81;
-    options.clients_per_dc = 3;
-
-    wl.commutative = false;
-    Cluster phys_cluster(options);
-    RunMetrics phys = bench::RunMdcc(phys_cluster, wl, kRun);
-
-    wl.commutative = true;
-    Cluster comm_cluster(options);
-    RunMetrics comm = bench::RunMdcc(comm_cluster, wl, kRun);
-
+  MetricsJson json("f7_commutative");
+  for (size_t i = 0; i < kKeyCounts.size(); ++i) {
+    uint64_t keys = kKeyCounts[i];
+    const RunMetrics& phys = results[2 * i];
+    const RunMetrics& comm = results[2 * i + 1];
     table.AddRow({Table::FmtInt((long long)keys),
                   Table::FmtPct(phys.CommitRate()),
                   Table::Fmt(phys.Goodput(kRun), 1),
                   Table::FmtPct(comm.CommitRate()),
                   Table::Fmt(comm.Goodput(kRun), 1)});
+    for (bool commutative : {false, true}) {
+      MetricsJson::Point point(
+          "keys=" + std::to_string(keys) +
+          (commutative ? " commutative" : " physical"));
+      point.Param("hot_keys", (long long)keys);
+      point.Param("option_kind",
+                  std::string(commutative ? "commutative" : "physical"));
+      point.Metrics(commutative ? comm : phys, kRun);
+      json.Add(std::move(point));
+    }
   }
   table.Print("F7: physical RMW vs commutative options on hot counters",
               true);
 
-  // Demarcation: 15 clients repeatedly decrement a stock of 40 units with
-  // bounds [0, inf). Exactly 40 decrements may commit.
-  {
-    ClusterOptions options;
-    options.seed = 82;
-    options.clients_per_dc = 3;
-    Cluster cluster(options);
-    cluster.SeedKey(0, 40);
-    cluster.SeedBounds(0, ValueBounds{0, 1LL << 40});
+  Table stock({"initial stock", "decrement attempts", "committed",
+               "bounds aborts", "final value"});
+  stock.AddRow({"40", Table::FmtInt(stock_result.attempts),
+                Table::FmtInt(stock_result.commits),
+                Table::FmtInt(stock_result.bounds_aborts),
+                Table::FmtInt(stock_result.final_value)});
+  stock.Print("F7: demarcation keeps a bounded stock non-negative");
 
-    int commits = 0, bounds_aborts = 0;
-    for (int round = 0; round < 6; ++round) {
-      for (int i = 0; i < cluster.num_clients(); ++i) {
-        Client* c = cluster.client(i);
-        TxnId txn = c->Begin();
-        PLANET_CHECK(c->Add(txn, 0, -1).ok());
-        c->Commit(txn, [&](Status s) { s.ok() ? ++commits : ++bounds_aborts; });
-      }
-      cluster.Drain();
-    }
-    Table stock({"initial stock", "decrement attempts", "committed",
-                 "bounds aborts", "final value"});
-    stock.AddRow({"40", Table::FmtInt(6 * cluster.num_clients()),
-                  Table::FmtInt(commits), Table::FmtInt(bounds_aborts),
-                  Table::FmtInt(cluster.replica(0)->store().Read(0).value)});
-    stock.Print("F7: demarcation keeps a bounded stock non-negative");
-  }
+  MetricsJson::Point stock_point("demarcation");
+  stock_point.Param("initial_stock", 40LL);
+  stock_point.Scalar("attempts", double(stock_result.attempts));
+  stock_point.Scalar("committed", double(stock_result.commits));
+  stock_point.Scalar("bounds_aborts", double(stock_result.bounds_aborts));
+  stock_point.Scalar("final_value", double(stock_result.final_value));
+  json.Add(std::move(stock_point));
+  ExportMetricsJson(opts, json);
   return 0;
 }

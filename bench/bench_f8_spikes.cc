@@ -11,10 +11,24 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
-int main() {
+namespace {
+
+constexpr Duration kWindow = Seconds(10);
+constexpr Duration kTotal = Seconds(90);
+constexpr int kWindows = int(kTotal / kWindow);
+
+struct F8Result {
+  std::vector<RunMetrics> windows;
+  std::vector<uint64_t> spec_in_window;
+  RunMetrics all;
+  PlanetStats stats;
+};
+
+F8Result RunSpike() {
   ClusterOptions options;
   options.seed = 91;
   options.clients_per_dc = 2;
@@ -25,19 +39,15 @@ int main() {
   wl.reads_per_txn = 1;
   wl.writes_per_txn = 2;
 
-  // Windowed metrics.
-  const Duration kWindow = Seconds(10);
-  const Duration kTotal = Seconds(90);
-  const int kWindows = int(kTotal / kWindow);
-  std::vector<RunMetrics> windows(static_cast<size_t>(kWindows));
-  std::vector<uint64_t> spec_in_window(size_t(kWindows), 0);
+  F8Result result;
+  result.windows.resize(static_cast<size_t>(kWindows));
+  result.spec_in_window.resize(size_t(kWindows), 0);
 
   PlanetRunnerPolicy policy;
   policy.speculation_deadline = Millis(120);
   policy.speculate_threshold = 0.9;
   policy.give_up_below = true;
 
-  RunMetrics all;
   std::vector<std::unique_ptr<LoadGenerator>> generators;
   for (int i = 0; i < cluster.num_clients(); ++i) {
     auto gen = std::make_unique<LoadGenerator>(
@@ -46,11 +56,11 @@ int main() {
                          cluster.ForkRng(8000 + i), policy),
         LoadGenerator::Options{});
     gen->SetResultSink([&](const TxnResult& r) {
-      all.Record(r);
+      result.all.Record(r);
       int w = int(cluster.sim().Now() / kWindow);
       if (w >= 0 && w < kWindows) {
-        windows[size_t(w)].Record(r);
-        if (r.speculative) ++spec_in_window[size_t(w)];
+        result.windows[size_t(w)].Record(r);
+        if (r.speculative) ++result.spec_in_window[size_t(w)];
       }
     });
     gen->Start(kTotal);
@@ -67,11 +77,26 @@ int main() {
   cluster.sim().ScheduleAt(Seconds(60),
                            [&] { cluster.net().ClearDegradation(1); });
   cluster.Drain();
+  result.stats = cluster.context().stats();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_f8_spikes");
+
+  std::vector<std::function<F8Result()>> points;
+  points.push_back([] { return RunSpike(); });
+
+  SweepRunner runner(opts);
+  F8Result result = std::move(runner.Run(std::move(points))[0]);
 
   Table table({"window", "spike?", "txns", "commit%", "final p50", "final p99",
                "user p50", "user p99", "speculated"});
+  MetricsJson json("f8_spikes");
   for (int w = 0; w < kWindows; ++w) {
-    const RunMetrics& m = windows[size_t(w)];
+    const RunMetrics& m = result.windows[size_t(w)];
     bool spike = w >= 3 && w < 6;
     table.AddRow(
         {std::to_string(w * 10) + "-" + std::to_string(w * 10 + 10) + "s",
@@ -81,18 +106,33 @@ int main() {
          Table::FmtUs(m.latency_all.Percentile(99)),
          Table::FmtUs(m.user_latency.Percentile(50)),
          Table::FmtUs(m.user_latency.Percentile(99)),
-         Table::FmtInt((long long)spec_in_window[size_t(w)])});
+         Table::FmtInt((long long)result.spec_in_window[size_t(w)])});
+
+    MetricsJson::Point point("window=" + std::to_string(w * 10) + "-" +
+                             std::to_string(w * 10 + 10) + "s");
+    point.Param("window_start_s", (long long)(w * 10));
+    point.Param("spike", (long long)(spike ? 1 : 0));
+    point.Scalar("speculated_in_window",
+                 double(result.spec_in_window[size_t(w)]));
+    point.Metrics(m, kWindow);
+    json.Add(std::move(point));
   }
   table.Print("F8: +250ms spike on us-east, t=30..60s "
               "(speculation holds user latency flat)",
               true);
 
-  const PlanetStats& stats = cluster.context().stats();
+  const PlanetStats& stats = result.stats;
   Table totals({"speculated", "correct", "apologies", "apology rate"});
   totals.AddRow({Table::FmtInt((long long)stats.speculated),
                  Table::FmtInt((long long)stats.speculation_correct),
                  Table::FmtInt((long long)stats.apologies),
                  Table::Fmt(stats.ApologyRate(), 4)});
   totals.Print("F8: speculation accounting over the whole run");
+
+  MetricsJson::Point overall("overall");
+  overall.Metrics(result.all, kTotal);
+  overall.Speculation(stats);
+  json.Add(std::move(overall));
+  ExportMetricsJson(opts, json);
   return 0;
 }

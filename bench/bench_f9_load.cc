@@ -10,65 +10,110 @@
 // latency, and give-up/speculation behaviour per offered load.
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
-int main() {
-  const Duration kRun = Seconds(60);
+namespace {
+
+struct F9Result {
+  RunMetrics metrics;
+  PlanetStats stats;
+  double util = 0;
+};
+
+F9Result RunOne(double rate, bool sla_admission, Duration run) {
   const Duration kServiceCost = Millis(1);  // 1000 msg/s per replica
+  ClusterOptions options;
+  options.seed = 111;
+  options.clients_per_dc = 2;
+  options.mdcc.replica_service_cost = kServiceCost;
+  if (sla_admission) {
+    // Latency-aware admission: reject transactions whose learned RTT
+    // tails say the 1s SLA is unlikely to be met.
+    options.planet.enable_admission = true;
+    options.planet.admission_threshold = 0.5;
+    options.planet.admission_sla = Seconds(1);
+  }
+  Cluster cluster(options);
+
+  WorkloadConfig wl;
+  wl.num_keys = 100000;  // low contention: this is about load, not locks
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 2;
+
+  PlanetRunnerPolicy policy;
+  policy.speculation_deadline = Millis(250);
+  policy.speculate_threshold = 0.9;
+  policy.give_up_below = true;
+
+  LoadGenerator::Options load;
+  load.rate_per_sec = rate;
+
+  F9Result result;
+  result.metrics = bench::RunPlanet(cluster, wl, run, policy, load);
+  result.stats = cluster.context().stats();
+  for (DcId dc = 0; dc < 5; ++dc) {
+    result.util = std::max(result.util, cluster.replica(dc)->Utilization());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_f9_load");
+  const Duration kRun = Seconds(60);
+  const std::vector<double> kRates = {5.0, 10.0, 15.0, 20.0, 25.0, 30.0};
+
+  std::vector<std::function<F9Result()>> points;
+  for (double rate : kRates) {
+    for (bool sla_admission : {false, true}) {
+      points.push_back([rate, sla_admission, kRun] {
+        return RunOne(rate, sla_admission, kRun);
+      });
+    }
+  }
+
+  SweepRunner runner(opts);
+  std::vector<F9Result> results = runner.Run(std::move(points));
+
   Table table({"offered tx/s", "admission", "util%", "commit%", "rejected",
                "final p50", "final p99", "user p50", "user p99",
                "speculated%"});
+  MetricsJson json("f9_load");
+  size_t idx = 0;
+  for (double rate : kRates) {
+    for (bool sla_admission : {false, true}) {
+      const F9Result& row = results[idx++];
+      const RunMetrics& m = row.metrics;
+      double finished = double(m.attempted());
+      table.AddRow(
+          {Table::Fmt(rate * 10, 0), sla_admission ? "sla-1s" : "off",
+           Table::FmtPct(row.util), Table::FmtPct(m.CommitRate()),
+           Table::FmtInt((long long)m.rejected),
+           Table::FmtUs(m.latency_all.Percentile(50)),
+           Table::FmtUs(m.latency_all.Percentile(99)),
+           Table::FmtUs(m.user_latency.Percentile(50)),
+           Table::FmtUs(m.user_latency.Percentile(99)),
+           finished ? Table::FmtPct(double(row.stats.speculated) / finished)
+                    : "-"});
 
-  for (double rate : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-   for (bool sla_admission : {false, true}) {
-    ClusterOptions options;
-    options.seed = 111;
-    options.clients_per_dc = 2;
-    options.mdcc.replica_service_cost = kServiceCost;
-    if (sla_admission) {
-      // Latency-aware admission: reject transactions whose learned RTT
-      // tails say the 1s SLA is unlikely to be met.
-      options.planet.enable_admission = true;
-      options.planet.admission_threshold = 0.5;
-      options.planet.admission_sla = Seconds(1);
+      MetricsJson::Point point(
+          "offered=" + Table::Fmt(rate * 10, 0) +
+          (sla_admission ? " sla-1s" : " admission-off"));
+      point.Param("offered_per_s", rate * 10);
+      point.Param("admission",
+                  std::string(sla_admission ? "sla-1s" : "off"));
+      point.Scalar("max_replica_utilization", row.util);
+      point.Metrics(m, kRun);
+      point.Speculation(row.stats);
+      json.Add(std::move(point));
     }
-    Cluster cluster(options);
-
-    WorkloadConfig wl;
-    wl.num_keys = 100000;  // low contention: this is about load, not locks
-    wl.reads_per_txn = 1;
-    wl.writes_per_txn = 2;
-
-    PlanetRunnerPolicy policy;
-    policy.speculation_deadline = Millis(250);
-    policy.speculate_threshold = 0.9;
-    policy.give_up_below = true;
-
-    LoadGenerator::Options load;
-    load.rate_per_sec = rate;
-
-    RunMetrics m = bench::RunPlanet(cluster, wl, kRun, policy, load);
-    const PlanetStats& stats = cluster.context().stats();
-
-    double util = 0;
-    for (DcId dc = 0; dc < 5; ++dc) {
-      util = std::max(util, cluster.replica(dc)->Utilization());
-    }
-    double finished = double(m.attempted());
-    table.AddRow(
-        {Table::Fmt(rate * 10, 0), sla_admission ? "sla-1s" : "off",
-         Table::FmtPct(util), Table::FmtPct(m.CommitRate()),
-         Table::FmtInt((long long)m.rejected),
-         Table::FmtUs(m.latency_all.Percentile(50)),
-         Table::FmtUs(m.latency_all.Percentile(99)),
-         Table::FmtUs(m.user_latency.Percentile(50)),
-         Table::FmtUs(m.user_latency.Percentile(99)),
-         finished ? Table::FmtPct(double(stats.speculated) / finished) : "-"});
-   }
   }
   table.Print(
       "F9: CPU saturation sweep (1ms/msg replicas, 250ms deadline, thr 0.9)",
       true);
+  ExportMetricsJson(opts, json);
   return 0;
 }

@@ -8,14 +8,26 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
-int main() {
+namespace {
+
+struct T1Result {
+  // The LatencyModel dies with the Cluster, so copy each pair's histogram
+  // out of the point closure.
+  std::vector<std::vector<Histogram>> rtt;  // [client DC][replica DC]
+  uint64_t total_samples = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_t1_latency_matrix");
   ClusterOptions options;
   options.seed = 1;
   options.clients_per_dc = 1;
-  Cluster cluster(options);
   const WanPreset& wan = options.wan;
 
   // Configured one-way medians.
@@ -35,21 +47,39 @@ int main() {
   }
 
   // Measured: drive traffic so every (client DC, replica DC) pair learns.
-  WorkloadConfig wl;
-  wl.num_keys = 1000000;
-  wl.reads_per_txn = 1;
-  wl.writes_per_txn = 2;
-  bench::RunPlanet(cluster, wl, Seconds(120));
+  std::vector<std::function<T1Result()>> points;
+  points.push_back([options] {
+    Cluster cluster(options);
+    WorkloadConfig wl;
+    wl.num_keys = 1000000;
+    wl.reads_per_txn = 1;
+    wl.writes_per_txn = 2;
+    bench::RunPlanet(cluster, wl, Seconds(120));
+
+    const WanPreset& wan = options.wan;
+    LatencyModel& lm = cluster.context().latency_model();
+    T1Result result;
+    result.rtt.resize(size_t(wan.num_dcs()));
+    for (int a = 0; a < wan.num_dcs(); ++a) {
+      for (int b = 0; b < wan.num_dcs(); ++b) {
+        result.rtt[size_t(a)].push_back(lm.HistogramFor(a, b));
+      }
+    }
+    result.total_samples = lm.total_samples();
+    return result;
+  });
+
+  SweepRunner runner(opts);
+  T1Result result = std::move(runner.Run(std::move(points))[0]);
 
   {
     std::vector<std::string> header = {"measured RTT"};
     for (const auto& name : wan.dc_names) header.push_back(name);
     Table table(header);
-    LatencyModel& lm = cluster.context().latency_model();
     for (int a = 0; a < wan.num_dcs(); ++a) {
       std::vector<std::string> row = {wan.dc_names[size_t(a)]};
       for (int b = 0; b < wan.num_dcs(); ++b) {
-        const Histogram& h = lm.HistogramFor(a, b);
+        const Histogram& h = result.rtt[size_t(a)][size_t(b)];
         if (h.count() == 0) {
           row.push_back("-");
         } else {
@@ -63,7 +93,21 @@ int main() {
   }
 
   std::printf("\nSamples learned by the latency model: %llu\n",
-              static_cast<unsigned long long>(
-                  cluster.context().latency_model().total_samples()));
+              static_cast<unsigned long long>(result.total_samples));
+
+  MetricsJson json("t1_latency_matrix");
+  MetricsJson::Point point("measured-rtt");
+  point.Scalar("latency_model_samples", double(result.total_samples));
+  for (int a = 0; a < wan.num_dcs(); ++a) {
+    for (int b = 0; b < wan.num_dcs(); ++b) {
+      const Histogram& h = result.rtt[size_t(a)][size_t(b)];
+      if (h.count() == 0) continue;
+      point.Hist("rtt_" + wan.dc_names[size_t(a)] + "_" +
+                     wan.dc_names[size_t(b)],
+                 h);
+    }
+  }
+  json.Add(std::move(point));
+  ExportMetricsJson(opts, json);
   return 0;
 }

@@ -8,81 +8,122 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
-int main() {
-  ClusterOptions options;
-  options.seed = 71;
-  options.clients_per_dc = 2;
-  Cluster cluster(options);
+namespace {
 
-  WorkloadConfig wl;
-  wl.num_keys = 3000;
-  wl.reads_per_txn = 1;
-  wl.writes_per_txn = 2;
+struct Agg {
+  double sum = 0;
+  uint64_t n = 0;
+  void Add(Duration d) {
+    sum += double(d);
+    ++n;
+  }
+  std::string Mean() const {
+    return n == 0 ? "-" : Table::FmtUs((long long)(sum / double(n)));
+  }
+};
 
-  struct Agg {
-    double sum = 0;
-    uint64_t n = 0;
-    void Add(Duration d) {
-      sum += double(d);
-      ++n;
-    }
-    std::string Mean() const {
-      return n == 0 ? "-" : Table::FmtUs((long long)(sum / double(n)));
-    }
-  };
-  constexpr int kMaxVotes = 11;
-  std::vector<Agg> vote_time(kMaxVotes);
+constexpr int kMaxVotes = 11;
+
+struct T2Result {
+  std::vector<Agg> vote_time = std::vector<Agg>(kMaxVotes);
   Agg submit_time, classic_time, decide_time;
   uint64_t classic_txns = 0, committed_txns = 0;
+};
 
-  PlanetRunnerPolicy policy;
-  policy.on_trace = [&](const std::vector<TxnProgress>& trace,
-                        const TxnResult& result) {
-    if (!result.status.ok()) return;
-    ++committed_txns;
-    bool saw_classic = false;
-    int last_votes = -1;
-    for (const TxnProgress& p : trace) {
-      if (p.stage == PlanetStage::kSubmitted && last_votes < 0) {
-        submit_time.Add(p.elapsed);
-      }
-      if (p.stage == PlanetStage::kClassicFallback && !saw_classic) {
-        saw_classic = true;
-        classic_time.Add(p.elapsed);
-      }
-      if (p.stage == PlanetStage::kCommitted) {
-        decide_time.Add(p.elapsed);
-      }
-      if (p.votes_received > last_votes && p.votes_received < kMaxVotes) {
-        vote_time[size_t(p.votes_received)].Add(p.elapsed);
-        last_votes = p.votes_received;
-      }
-    }
-    if (saw_classic) ++classic_txns;
-  };
+}  // namespace
 
-  bench::RunPlanet(cluster, wl, Seconds(300), policy);
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_t2_stages");
+
+  std::vector<std::function<T2Result()>> points;
+  points.push_back([] {
+    ClusterOptions options;
+    options.seed = 71;
+    options.clients_per_dc = 2;
+    Cluster cluster(options);
+
+    WorkloadConfig wl;
+    wl.num_keys = 3000;
+    wl.reads_per_txn = 1;
+    wl.writes_per_txn = 2;
+
+    T2Result result;
+    PlanetRunnerPolicy policy;
+    policy.on_trace = [&result](const std::vector<TxnProgress>& trace,
+                                const TxnResult& txn_result) {
+      if (!txn_result.status.ok()) return;
+      ++result.committed_txns;
+      bool saw_classic = false;
+      int last_votes = -1;
+      for (const TxnProgress& p : trace) {
+        if (p.stage == PlanetStage::kSubmitted && last_votes < 0) {
+          result.submit_time.Add(p.elapsed);
+        }
+        if (p.stage == PlanetStage::kClassicFallback && !saw_classic) {
+          saw_classic = true;
+          result.classic_time.Add(p.elapsed);
+        }
+        if (p.stage == PlanetStage::kCommitted) {
+          result.decide_time.Add(p.elapsed);
+        }
+        if (p.votes_received > last_votes && p.votes_received < kMaxVotes) {
+          result.vote_time[size_t(p.votes_received)].Add(p.elapsed);
+          last_votes = p.votes_received;
+        }
+      }
+      if (saw_classic) ++result.classic_txns;
+    };
+
+    bench::RunPlanet(cluster, wl, Seconds(300), policy);
+    return result;
+  });
+
+  SweepRunner runner(opts);
+  T2Result result = std::move(runner.Run(std::move(points))[0]);
 
   Table stages({"milestone", "mean elapsed since Begin()"});
-  stages.AddRow({"commit submitted (reads done)", submit_time.Mean()});
+  stages.AddRow(
+      {"commit submitted (reads done)", result.submit_time.Mean()});
   for (int v = 1; v < kMaxVotes; ++v) {
-    if (vote_time[size_t(v)].n == 0) continue;
+    if (result.vote_time[size_t(v)].n == 0) continue;
     stages.AddRow({"vote " + std::to_string(v) + " received",
-                   vote_time[size_t(v)].Mean()});
+                   result.vote_time[size_t(v)].Mean()});
   }
-  stages.AddRow({"classic fallback entered (if any)", classic_time.Mean()});
-  stages.AddRow({"decision (committed)", decide_time.Mean()});
+  stages.AddRow(
+      {"classic fallback entered (if any)", result.classic_time.Mean()});
+  stages.AddRow({"decision (committed)", result.decide_time.Mean()});
   stages.Print("T2: stage timing breakdown, committed transactions", true);
 
   Table share({"committed txns", "via classic fallback", "share"});
-  share.AddRow({Table::FmtInt((long long)committed_txns),
-                Table::FmtInt((long long)classic_txns),
-                committed_txns
-                    ? Table::FmtPct(double(classic_txns) / committed_txns)
-                    : "-"});
+  share.AddRow(
+      {Table::FmtInt((long long)result.committed_txns),
+       Table::FmtInt((long long)result.classic_txns),
+       result.committed_txns
+           ? Table::FmtPct(double(result.classic_txns) / result.committed_txns)
+           : "-"});
   share.Print("T2: classic-path share");
+
+  MetricsJson json("t2_stages");
+  MetricsJson::Point point("stage-breakdown");
+  point.Param("keys", 3000LL);
+  point.Scalar("committed_txns", double(result.committed_txns));
+  point.Scalar("classic_txns", double(result.classic_txns));
+  auto mean_us = [](const Agg& a) {
+    return a.n ? a.sum / double(a.n) : 0.0;
+  };
+  point.Scalar("submit_mean_us", mean_us(result.submit_time));
+  for (int v = 1; v < kMaxVotes; ++v) {
+    const Agg& a = result.vote_time[size_t(v)];
+    if (a.n == 0) continue;
+    point.Scalar("vote" + std::to_string(v) + "_mean_us", mean_us(a));
+  }
+  point.Scalar("classic_entry_mean_us", mean_us(result.classic_time));
+  point.Scalar("decision_mean_us", mean_us(result.decide_time));
+  json.Add(std::move(point));
+  ExportMetricsJson(opts, json);
   return 0;
 }

@@ -10,43 +10,71 @@
 // type has its user latency pinned near the deadline.
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 #include "workload/store_app.h"
 
 using namespace planet;
 
-int main() {
-  ClusterOptions options;
-  options.seed = 101;
-  options.clients_per_dc = 3;
-  Cluster cluster(options);
+namespace {
 
-  StoreAppConfig app;
-  app.num_products = 500;
-  app.product_zipf_theta = 0.95;
-  StoreAppStats stats;
-  SeedStore(
-      app, [&](Key k, Value v) { cluster.SeedKey(k, v); },
-      [&](Key k, ValueBounds b) { cluster.SeedBounds(k, b); });
+struct T3Result {
+  StoreAppStats app_stats;
+  PlanetStats planet_stats;
+};
 
-  PlanetRunnerPolicy policy;
-  policy.speculation_deadline = Millis(150);
-  policy.speculate_threshold = 0.9;
-  policy.give_up_below = true;
+}  // namespace
 
-  std::vector<std::unique_ptr<LoadGenerator>> generators;
-  for (int i = 0; i < cluster.num_clients(); ++i) {
-    auto gen = std::make_unique<LoadGenerator>(
-        &cluster.sim(), cluster.ForkRng(100 + i),
-        MakeStoreAppRunner(cluster.planet_client(i), app,
-                           cluster.ForkRng(200 + i), &stats, policy),
-        LoadGenerator::Options{});
-    gen->Start(Seconds(300));
-    generators.push_back(std::move(gen));
-  }
-  cluster.Drain();
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_t3_appmix");
+
+  std::vector<std::function<T3Result()>> points;
+  points.push_back([] {
+    ClusterOptions options;
+    options.seed = 101;
+    options.clients_per_dc = 3;
+    Cluster cluster(options);
+
+    StoreAppConfig app;
+    app.num_products = 500;
+    app.product_zipf_theta = 0.95;
+    T3Result result;
+    SeedStore(
+        app, [&](Key k, Value v) { cluster.SeedKey(k, v); },
+        [&](Key k, ValueBounds b) { cluster.SeedBounds(k, b); });
+
+    PlanetRunnerPolicy policy;
+    policy.speculation_deadline = Millis(150);
+    policy.speculate_threshold = 0.9;
+    policy.give_up_below = true;
+
+    std::vector<std::unique_ptr<LoadGenerator>> generators;
+    for (int i = 0; i < cluster.num_clients(); ++i) {
+      auto gen = std::make_unique<LoadGenerator>(
+          &cluster.sim(), cluster.ForkRng(100 + i),
+          MakeStoreAppRunner(cluster.planet_client(i), app,
+                             cluster.ForkRng(200 + i), &result.app_stats,
+                             policy),
+          LoadGenerator::Options{});
+      gen->Start(Seconds(300));
+      generators.push_back(std::move(gen));
+    }
+    cluster.Drain();
+    PLANET_CHECK(cluster.ReplicasConverged());
+    result.planet_stats = cluster.context().stats();
+    return result;
+  });
+
+  SweepRunner runner(opts);
+  T3Result result = std::move(runner.Run(std::move(points))[0]);
+  const StoreAppStats& stats = result.app_stats;
 
   Table table({"txn type", "issued", "commit%", "final p50", "final p99",
                "user p50", "user p99", "speculated%"});
+  MetricsJson json("t3_appmix");
+  MetricsJson::Point point("web-store-mix");
+  point.Param("products", 500LL);
+  point.Param("deadline_ms", 150LL);
+  point.Param("threshold", 0.9);
   for (int t = 0; t < kNumStoreTxnTypes; ++t) {
     const auto& s = stats.by_type[size_t(t)];
     if (s.issued == 0) continue;
@@ -60,11 +88,17 @@ int main() {
          Table::FmtUs(s.user_latency.Percentile(50)),
          Table::FmtUs(s.user_latency.Percentile(99)),
          finished ? Table::FmtPct(double(s.speculative) / finished) : "-"});
+
+    std::string tag = StoreTxnTypeName(static_cast<StoreTxnType>(t));
+    point.Scalar(tag + "_issued", double(s.issued));
+    point.Scalar(tag + "_committed", double(s.committed));
+    point.Scalar(tag + "_speculative", double(s.speculative));
+    point.Hist(tag + "_latency", s.latency);
+    point.Hist(tag + "_user_latency", s.user_latency);
   }
   table.Print("T3: web-store mix, 15 clients, 150ms deadline, thr 0.9", true);
 
-  PLANET_CHECK(cluster.ReplicasConverged());
-  const PlanetStats& ps = cluster.context().stats();
+  const PlanetStats& ps = result.planet_stats;
   Table totals({"committed", "aborted", "speculated", "apologies",
                 "apology rate"});
   totals.AddRow({Table::FmtInt((long long)ps.committed),
@@ -73,5 +107,9 @@ int main() {
                  Table::FmtInt((long long)ps.apologies),
                  Table::Fmt(ps.ApologyRate(), 4)});
   totals.Print("T3: totals (replicas converged)");
+
+  point.Speculation(ps);
+  json.Add(std::move(point));
+  ExportMetricsJson(opts, json);
   return 0;
 }

@@ -8,63 +8,97 @@
 // ~3x the critical-path latency. Also reports retransmissions.
 #include "bench_util.h"
 #include "common/table.h"
+#include "harness/sweep.h"
 
 using namespace planet;
 
-int main() {
-  const Duration kRun = Seconds(120);
+namespace {
+
+struct T4Result {
+  RunMetrics metrics;
+  uint64_t messages_sent = 0;
+  uint64_t retransmits = 0;
+};
+
+WorkloadConfig MakeWorkload() {
   WorkloadConfig wl;
   wl.num_keys = 1000000;
   wl.reads_per_txn = 1;
   wl.writes_per_txn = 2;
+  return wl;
+}
 
-  Table table({"stack", "committed", "messages", "msgs/txn", "retransmits",
-               "commit p50"});
+}  // namespace
 
-  {
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv, "bench_t4_messages");
+  const Duration kRun = Seconds(120);
+
+  std::vector<std::function<T4Result()>> points;
+  points.push_back([kRun] {
     ClusterOptions options;
     options.seed = 151;
     Cluster cluster(options);
-    RunMetrics m = bench::RunMdcc(cluster, wl, kRun);
-    table.AddRow(
-        {"mdcc-fast", Table::FmtInt((long long)m.committed),
-         Table::FmtInt((long long)cluster.net().messages_sent()),
-         Table::Fmt(double(cluster.net().messages_sent()) /
-                        std::max<uint64_t>(1, m.committed),
-                    1),
-         Table::FmtInt((long long)cluster.net().messages_retransmitted()),
-         Table::FmtUs(m.latency_committed.Percentile(50))});
-  }
-  {
+    T4Result result;
+    result.metrics = bench::RunMdcc(cluster, MakeWorkload(), kRun);
+    result.messages_sent = cluster.net().messages_sent();
+    result.retransmits = cluster.net().messages_retransmitted();
+    return result;
+  });
+  points.push_back([kRun] {
     ClusterOptions options;
     options.seed = 151;
     options.mdcc.force_classic = true;
     Cluster cluster(options);
-    RunMetrics m = bench::RunMdcc(cluster, wl, kRun);
-    table.AddRow(
-        {"mdcc-classic", Table::FmtInt((long long)m.committed),
-         Table::FmtInt((long long)cluster.net().messages_sent()),
-         Table::Fmt(double(cluster.net().messages_sent()) /
-                        std::max<uint64_t>(1, m.committed),
-                    1),
-         Table::FmtInt((long long)cluster.net().messages_retransmitted()),
-         Table::FmtUs(m.latency_committed.Percentile(50))});
-  }
-  {
+    T4Result result;
+    result.metrics = bench::RunMdcc(cluster, MakeWorkload(), kRun);
+    result.messages_sent = cluster.net().messages_sent();
+    result.retransmits = cluster.net().messages_retransmitted();
+    return result;
+  });
+  points.push_back([kRun] {
     TpcClusterOptions options;
     options.seed = 151;
     TpcCluster cluster(options);
-    RunMetrics m = bench::RunTpc(cluster, wl, kRun);
+    T4Result result;
+    result.metrics = bench::RunTpc(cluster, MakeWorkload(), kRun);
+    result.messages_sent = cluster.net().messages_sent();
+    result.retransmits = cluster.net().messages_retransmitted();
+    return result;
+  });
+
+  SweepRunner runner(opts);
+  std::vector<T4Result> results = runner.Run(std::move(points));
+
+  const std::vector<std::string> kStacks = {"mdcc-fast", "mdcc-classic",
+                                            "2pc"};
+  Table table({"stack", "committed", "messages", "msgs/txn", "retransmits",
+               "commit p50"});
+  MetricsJson json("t4_messages");
+  for (size_t i = 0; i < kStacks.size(); ++i) {
+    const T4Result& r = results[i];
+    const RunMetrics& m = r.metrics;
     table.AddRow(
-        {"2pc", Table::FmtInt((long long)m.committed),
-         Table::FmtInt((long long)cluster.net().messages_sent()),
-         Table::Fmt(double(cluster.net().messages_sent()) /
+        {kStacks[i], Table::FmtInt((long long)m.committed),
+         Table::FmtInt((long long)r.messages_sent),
+         Table::Fmt(double(r.messages_sent) /
                         std::max<uint64_t>(1, m.committed),
                     1),
-         Table::FmtInt((long long)cluster.net().messages_retransmitted()),
+         Table::FmtInt((long long)r.retransmits),
          Table::FmtUs(m.latency_committed.Percentile(50))});
+
+    MetricsJson::Point point(kStacks[i]);
+    point.Param("stack", kStacks[i]);
+    point.Scalar("messages_sent", double(r.messages_sent));
+    point.Scalar("retransmits", double(r.retransmits));
+    point.Scalar("messages_per_commit",
+                 double(r.messages_sent) /
+                     std::max<uint64_t>(1, m.committed));
+    point.Metrics(m, kRun);
+    json.Add(std::move(point));
   }
   table.Print("T4: message cost per committed transaction (1R/2W, 5 DCs)",
               true);
+  ExportMetricsJson(opts, json);
   return 0;
 }

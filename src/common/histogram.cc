@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/logging.h"
+
 namespace planet {
 namespace {
 
@@ -88,9 +90,12 @@ double Histogram::Mean() const {
 }
 
 int64_t Histogram::Percentile(double p) const {
+  // Percent scale: p in [0, 100]. All call sites were audited to this
+  // convention (bench/, src/planet, tools/, examples/); rejecting instead of
+  // clamping catches fraction-scale callers (0.99 "meaning" p99) early.
+  PLANET_CHECK_MSG(p >= 0.0 && p <= 100.0,
+                   "Percentile wants p in [0,100], got " << p);
   if (count_ == 0) return 0;
-  if (p < 0.0) p = 0.0;
-  if (p > 100.0) p = 100.0;
   // Rank of the target sample (1-based), at least 1.
   uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * count_));
   if (rank == 0) rank = 1;

@@ -34,9 +34,13 @@ class Histogram {
   int64_t max() const;
   double Mean() const;
 
-  /// Value at percentile p in [0, 100]. Returns 0 for an empty histogram.
-  /// Result is the upper bound of the bucket containing the p-th sample,
-  /// i.e. accurate to the bucket resolution (~4.6%).
+  /// Value at percentile p, where p is on the PERCENT scale [0, 100]:
+  /// the 99th percentile is Percentile(99), never Percentile(0.99) — a
+  /// fraction-scale call like 0.99 would silently return the ~1st
+  /// percentile, so out-of-range p is a PLANET_CHECK failure rather than a
+  /// silent clamp. Returns 0 for an empty histogram. Result is the upper
+  /// bound of the bucket containing the p-th sample, i.e. accurate to the
+  /// bucket resolution (~4.6%).
   int64_t Percentile(double p) const;
 
   /// P(sample <= value_us). Returns 1.0 for an empty histogram (vacuous).

@@ -1,0 +1,58 @@
+// Fixed-size worker pool for fanning independent jobs (one simulation per
+// sweep point) across cores.
+//
+// Semantics chosen for the experiment harness:
+//   * jobs are independent — no futures, no return plumbing; callers write
+//     results into pre-sized slots so ordering never depends on scheduling;
+//   * Wait() blocks until every submitted job has finished and rethrows the
+//     first job exception (subsequent jobs still run to completion);
+//   * the destructor drains the queue (equivalent to Wait, but swallows any
+//     pending exception) and joins the workers.
+#ifndef PLANET_COMMON_THREAD_POOL_H_
+#define PLANET_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace planet {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding jobs, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one job. Must not be called after the destructor has begun.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no job is running. If any job threw,
+  /// rethrows the first exception (and clears it, so the pool stays usable).
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: job or stop
+  std::condition_variable done_cv_;   ///< signals Wait(): all jobs finished
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;       ///< jobs currently executing
+  bool stop_ = false;    ///< destructor has begun
+  std::exception_ptr first_error_;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_COMMON_THREAD_POOL_H_

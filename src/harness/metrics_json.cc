@@ -1,0 +1,209 @@
+#include "harness/metrics_json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace planet {
+namespace json {
+
+std::string Quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  return buf;
+}
+
+namespace {
+
+/// Serializes an ordered (name, serialized-value) list as a JSON object.
+std::string Object(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out = "{";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Quote(fields[i].first) + ": " + fields[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+}  // namespace json
+
+MetricsJson::Point::Point(std::string label) : label_(std::move(label)) {}
+
+MetricsJson::Point& MetricsJson::Point::Param(const std::string& name,
+                                              const std::string& value) {
+  params_.emplace_back(name, json::Quote(value));
+  return *this;
+}
+
+MetricsJson::Point& MetricsJson::Point::Param(const std::string& name,
+                                              long long value) {
+  params_.emplace_back(name, json::Number(static_cast<double>(value)));
+  return *this;
+}
+
+MetricsJson::Point& MetricsJson::Point::Param(const std::string& name,
+                                              double value) {
+  params_.emplace_back(name, json::Number(value));
+  return *this;
+}
+
+MetricsJson::Point& MetricsJson::Point::Scalar(const std::string& name,
+                                               double value) {
+  fields_.emplace_back(name, json::Number(value));
+  return *this;
+}
+
+MetricsJson::Point& MetricsJson::Point::Hist(const std::string& name,
+                                             const Histogram& h) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  auto num = [](double v) { return json::Number(v); };
+  fields.emplace_back("count", num(double(h.count())));
+  fields.emplace_back("mean_us", num(h.Mean()));
+  fields.emplace_back("min_us", num(double(h.min())));
+  fields.emplace_back("max_us", num(double(h.max())));
+  fields.emplace_back("p50_us", num(double(h.Percentile(50))));
+  fields.emplace_back("p90_us", num(double(h.Percentile(90))));
+  fields.emplace_back("p95_us", num(double(h.Percentile(95))));
+  fields.emplace_back("p99_us", num(double(h.Percentile(99))));
+  fields.emplace_back("p999_us", num(double(h.Percentile(99.9))));
+  fields_.emplace_back(name, json::Object(fields));
+  return *this;
+}
+
+MetricsJson::Point& MetricsJson::Point::Metrics(const RunMetrics& m,
+                                                Duration run_time) {
+  Scalar("committed", double(m.committed));
+  Scalar("aborted", double(m.aborted));
+  Scalar("unavailable", double(m.unavailable));
+  Scalar("rejected", double(m.rejected));
+  Scalar("commit_rate", m.CommitRate());
+  Scalar("goodput_per_s", m.Goodput(run_time));
+  Scalar("speculative_notifications", double(m.speculative_notifications));
+  Hist("latency_committed", m.latency_committed);
+  Hist("latency_all", m.latency_all);
+  Hist("user_latency", m.user_latency);
+  return *this;
+}
+
+MetricsJson::Point& MetricsJson::Point::Speculation(const PlanetStats& s) {
+  Scalar("speculated", double(s.speculated));
+  Scalar("speculation_correct", double(s.speculation_correct));
+  Scalar("apologies", double(s.apologies));
+  Scalar("apology_rate", s.ApologyRate());
+  Scalar("gave_up", double(s.gave_up));
+  Scalar("speculation_accuracy",
+         s.speculated == 0
+             ? 0.0
+             : double(s.speculation_correct) / double(s.speculated));
+  return *this;
+}
+
+MetricsJson::Point& MetricsJson::Point::Calibration(
+    const CalibrationTracker& t) {
+  std::string buckets = "[";
+  bool first = true;
+  for (const CalibrationTracker::Bucket& b : t.Buckets()) {
+    if (!first) buckets += ", ";
+    first = false;
+    buckets += json::Object({{"lo", json::Number(b.lo)},
+                             {"hi", json::Number(b.hi)},
+                             {"total", json::Number(double(b.total))},
+                             {"committed", json::Number(double(b.committed))},
+                             {"mean_predicted",
+                              json::Number(b.mean_predicted)}});
+  }
+  buckets += "]";
+  fields_.emplace_back(
+      "calibration",
+      json::Object({{"ece", json::Number(t.ExpectedCalibrationError())},
+                    {"total", json::Number(double(t.total()))},
+                    {"buckets", buckets}}));
+  return *this;
+}
+
+MetricsJson::MetricsJson(std::string bench_id)
+    : bench_id_(std::move(bench_id)) {}
+
+void MetricsJson::Add(Point point) { points_.push_back(std::move(point)); }
+
+std::string MetricsJson::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"bench\": " + json::Quote(bench_id_) + ",\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"points\": [";
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    out += i > 0 ? ",\n    {" : "\n    {";
+    out += "\"label\": " + json::Quote(p.label_);
+    out += ", \"params\": " + json::Object(p.params_);
+    for (const auto& [name, value] : p.fields_) {
+      out += ",\n     " + json::Quote(name) + ": " + value;
+    }
+    out += "}";
+  }
+  out += points_.empty() ? "]\n" : "\n  ]\n";
+  out += "}";
+  return out;
+}
+
+Status MetricsJson::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string doc = ToJson();
+  doc.push_back('\n');
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != doc.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace planet

@@ -1,0 +1,112 @@
+// Machine-readable experiment output: serializes each sweep point's metrics
+// (outcome counters, latency percentiles, calibration buckets, speculation
+// accuracy) to a BENCH_<id>.json document, so every benchmark run leaves a
+// durable perf-trajectory artifact next to its human-readable tables.
+//
+// Schema (schema_version 1):
+//   {
+//     "bench": "<id>",
+//     "schema_version": 1,
+//     "points": [
+//       {
+//         "label": "<human label of the sweep point>",
+//         "params": { "<name>": <value>, ... },
+//         "<scalar>": <number>, ...,
+//         "<histogram>": { "count": N, "mean_us": X, "min_us": N,
+//                          "max_us": N, "p50_us": N, "p90_us": N,
+//                          "p95_us": N, "p99_us": N, "p999_us": N },
+//         "calibration": { "ece": X, "total": N,
+//                          "buckets": [ { "lo": X, "hi": X, "total": N,
+//                                         "committed": N,
+//                                         "mean_predicted": X }, ... ] }
+//       }, ...
+//     ]
+//   }
+//
+// All fields appear in insertion order and all numbers are formatted
+// deterministically, so two runs of the same configuration produce
+// byte-identical documents regardless of --threads.
+#ifndef PLANET_HARNESS_METRICS_JSON_H_
+#define PLANET_HARNESS_METRICS_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "harness/metrics.h"
+#include "planet/client.h"
+
+namespace planet {
+
+/// Accumulates sweep points and renders/writes the JSON document.
+class MetricsJson {
+ public:
+  /// One sweep point under construction. All setters return *this so a
+  /// point can be built fluently inside a sweep closure.
+  class Point {
+   public:
+    explicit Point(std::string label);
+
+    /// Sweep parameters (grouped under "params").
+    Point& Param(const std::string& name, const std::string& value);
+    Point& Param(const std::string& name, long long value);
+    Point& Param(const std::string& name, double value);
+
+    /// A single named number at the top level of the point.
+    Point& Scalar(const std::string& name, double value);
+
+    /// A named latency histogram summary block.
+    Point& Hist(const std::string& name, const Histogram& h);
+
+    /// The standard block for a RunMetrics: outcome counters, commit rate,
+    /// goodput over `run_time`, and the three latency histograms.
+    Point& Metrics(const RunMetrics& m, Duration run_time);
+
+    /// Speculation accounting from the PLANET layer.
+    Point& Speculation(const PlanetStats& s);
+
+    /// Reliability-diagram block (grouped under "calibration").
+    Point& Calibration(const CalibrationTracker& t);
+
+   private:
+    friend class MetricsJson;
+    std::string label_;
+    /// name -> serialized JSON value, in insertion order.
+    std::vector<std::pair<std::string, std::string>> params_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit MetricsJson(std::string bench_id);
+
+  void Add(Point point);
+
+  size_t num_points() const { return points_.size(); }
+  const std::string& bench_id() const { return bench_id_; }
+
+  /// Renders the whole document (pretty-printed, deterministic).
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (plus a trailing newline).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_id_;
+  std::vector<Point> points_;
+};
+
+namespace json {
+
+/// Escapes a string for embedding in a JSON document (adds the quotes).
+std::string Quote(const std::string& s);
+
+/// Formats a double deterministically: integral values without a fraction,
+/// everything else with enough digits to round-trip.
+std::string Number(double v);
+
+}  // namespace json
+
+}  // namespace planet
+
+#endif  // PLANET_HARNESS_METRICS_JSON_H_

@@ -1,0 +1,57 @@
+#include "harness/sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace planet {
+
+SweepOptions ParseSweepArgs(int argc, char** argv,
+                            const std::string& bench_id) {
+  SweepOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", bench_id.c_str(),
+                     a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      std::printf(
+          "%s - PLANET experiment binary\n"
+          "  --threads N    run up to N sweep points concurrently "
+          "(default 1)\n"
+          "  --json PATH    also export metrics as JSON to PATH\n",
+          bench_id.c_str());
+      std::exit(0);
+    } else if (a == "--threads") {
+      options.threads = std::atoi(need());
+      if (options.threads < 1) {
+        std::fprintf(stderr, "%s: --threads wants a positive count\n",
+                     bench_id.c_str());
+        std::exit(2);
+      }
+    } else if (a == "--json") {
+      options.json_path = need();
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s (try --help)\n",
+                   bench_id.c_str(), a.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+void ExportMetricsJson(const SweepOptions& options, const MetricsJson& json) {
+  if (options.json_path.empty()) return;
+  Status status = json.WriteFile(options.json_path);
+  PLANET_CHECK_MSG(status.ok(), "metrics export failed: " << status.message());
+  std::fprintf(stderr, "wrote %zu-point metrics document to %s\n",
+               json.num_points(), options.json_path.c_str());
+}
+
+}  // namespace planet

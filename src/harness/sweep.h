@@ -1,0 +1,72 @@
+// SweepRunner: fans the independent sweep points of an experiment across a
+// thread pool. Every PLANET experiment is a set of fully independent
+// deterministic simulations (one Cluster per point, each with its own seed),
+// so points can run concurrently; results are returned in submission order
+// and all printing happens afterwards on the main thread, which makes the
+// output byte-identical to the serial run regardless of --threads.
+//
+// The shared command-line contract of every bench binary:
+//   --threads N    run up to N sweep points concurrently (default 1)
+//   --json PATH    also export a MetricsJson document to PATH
+#ifndef PLANET_HARNESS_SWEEP_H_
+#define PLANET_HARNESS_SWEEP_H_
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "harness/metrics_json.h"
+
+namespace planet {
+
+struct SweepOptions {
+  int threads = 1;        ///< concurrent sweep points
+  std::string json_path;  ///< empty: no JSON export
+};
+
+/// Parses the shared bench flags (--threads, --json, --help) from argv.
+/// Prints usage and exits on --help; complains and exits(2) on anything
+/// unknown. `bench_id` names the binary in the usage text.
+SweepOptions ParseSweepArgs(int argc, char** argv, const std::string& bench_id);
+
+/// Runs sweep points across a thread pool with deterministic result order.
+class SweepRunner {
+ public:
+  explicit SweepRunner(const SweepOptions& options) : options_(options) {}
+
+  const SweepOptions& options() const { return options_; }
+
+  /// Executes every point (each must be an independent simulation) and
+  /// returns their results in submission order. R must be movable and
+  /// default-constructible. With threads <= 1 this degenerates to the plain
+  /// serial loop — same results, same order.
+  template <typename R>
+  std::vector<R> Run(std::vector<std::function<R()>> points) const {
+    std::vector<R> results(points.size());
+    int threads = std::min<int>(std::max(1, options_.threads),
+                                static_cast<int>(points.size()));
+    if (threads <= 1) {
+      for (size_t i = 0; i < points.size(); ++i) results[i] = points[i]();
+      return results;
+    }
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < points.size(); ++i) {
+      pool.Submit([&results, &points, i] { results[i] = points[i](); });
+    }
+    pool.Wait();
+    return results;
+  }
+
+ private:
+  SweepOptions options_;
+};
+
+/// Writes `json` to options.json_path when set (a note goes to stderr so
+/// stdout stays byte-comparable across runs); PLANET_CHECKs the write.
+void ExportMetricsJson(const SweepOptions& options, const MetricsJson& json);
+
+}  // namespace planet
+
+#endif  // PLANET_HARNESS_SWEEP_H_

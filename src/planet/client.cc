@@ -30,7 +30,7 @@ PlanetContext::PlanetContext(const MdccConfig& mdcc, const PlanetConfig& planet)
     : mdcc_(mdcc),
       planet_(planet),
       latency_(mdcc.num_dcs, planet.latency_prior_hint),
-      conflict_(planet.conflict_alpha),
+      conflict_(planet.conflict_alpha, planet.conflict_max_tracked_keys),
       estimator_(mdcc_, planet_, &latency_, &conflict_) {
   stats_.calibration = CalibrationTracker(planet.calibration_buckets);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/logging.h"
 
@@ -71,29 +72,50 @@ Duration LatencyModel::RttPercentile(DcId from, DcId to, double pct) const {
 
 // ---------------------------------------------------------------- conflict
 
-ConflictModel::ConflictModel(double alpha)
-    : alpha_(alpha), global_votes_(alpha), global_options_(alpha) {}
+ConflictModel::ConflictModel(double alpha, size_t max_tracked_keys)
+    : alpha_(alpha),
+      max_tracked_keys_(std::max<size_t>(1, max_tracked_keys)),
+      global_votes_(alpha),
+      global_options_(alpha) {}
 
 void ConflictModel::RecordVote(Key key, bool accepted) {
   double x = accepted ? 0.0 : 1.0;
   global_votes_.Observe(x);
-  auto [it, inserted] = votes_per_key_.try_emplace(key, alpha_);
-  it->second.Observe(x);
+  Touch(&votes_per_key_, key, x);
 }
 
 void ConflictModel::RecordOptionOutcome(Key key, bool chosen) {
   double x = chosen ? 0.0 : 1.0;
   global_options_.Observe(x);
-  auto [it, inserted] = options_per_key_.try_emplace(key, alpha_);
-  it->second.Observe(x);
+  Touch(&options_per_key_, key, x);
 }
 
-double ConflictModel::Blend(const std::unordered_map<Key, Ewma>& per_key,
-                            const Ewma& global, Key key) {
+void ConflictModel::Touch(KeyMap* per_key, Key key, double x) {
+  auto [it, inserted] = per_key->try_emplace(key, KeyStats{Ewma(alpha_), 0});
+  it->second.ewma.Observe(x);
+  it->second.last_touch = ++tick_;
+  if (inserted && per_key->size() > max_tracked_keys_) {
+    // Evict the coldest half by last observation. last_touch is unique per
+    // entry, so the survivor set is independent of map iteration order.
+    std::vector<std::pair<uint64_t, Key>> by_age;
+    by_age.reserve(per_key->size());
+    for (const auto& [k, stats] : *per_key) {
+      by_age.emplace_back(stats.last_touch, k);
+    }
+    size_t evict = by_age.size() - max_tracked_keys_ / 2;
+    std::nth_element(by_age.begin(),
+                     by_age.begin() + static_cast<ptrdiff_t>(evict),
+                     by_age.end());
+    for (size_t i = 0; i < evict; ++i) per_key->erase(by_age[i].second);
+  }
+}
+
+double ConflictModel::Blend(const KeyMap& per_key, const Ewma& global,
+                            Key key) {
   double g = global.observations() > 0 ? global.value() : 0.0;
   auto it = per_key.find(key);
   if (it == per_key.end()) return g;
-  const Ewma& local = it->second;
+  const Ewma& local = it->second.ewma;
   // Blend by observation count: trust the key once it has ~8 observations.
   double w =
       std::min<double>(1.0, static_cast<double>(local.observations()) / 8.0);
@@ -176,15 +198,28 @@ double CommitLikelihoodEstimator::EffectiveAcceptProb(Key key) const {
   return 0.5 * (lo + hi);
 }
 
+double CommitLikelihoodEstimator::CachedAcceptProb(Key key,
+                                                   AcceptProbCache* cache) const {
+  if (cache != nullptr) {
+    for (const auto& [k, q] : cache->entries) {
+      if (k == key) return q;
+    }
+  }
+  double q = EffectiveAcceptProb(key);
+  if (cache != nullptr) cache->entries.emplace_back(key, q);
+  return q;
+}
+
 double CommitLikelihoodEstimator::OptionLikelihood(const OptionProgress& op,
                                                    bool with_latency,
                                                    SimTime now,
                                                    Duration budget,
-                                                   DcId client_dc) const {
+                                                   DcId client_dc,
+                                                   AcceptProbCache* cache) const {
   if (op.decided) return op.chosen ? 1.0 : 0.0;
   // Per-acceptor accept probability implied by the calibrated option-level
   // outcome rate (consistent with FreshOptionLikelihood at zero votes).
-  double q_eff = EffectiveAcceptProb(op.option.key);
+  double q_eff = CachedAcceptProb(op.option.key, cache);
   double c = 1.0 - q_eff;
 
   if (op.classic_inflight) {
@@ -244,8 +279,10 @@ double CommitLikelihoodEstimator::Estimate(const TxnView& view) const {
   if (view.phase == TxnPhase::kCommitted) return 1.0;
   if (view.phase == TxnPhase::kAborted) return 0.0;
   double likelihood = 1.0;
+  AcceptProbCache cache;
   for (const OptionProgress& op : view.options) {
-    likelihood *= OptionLikelihood(op, /*with_latency=*/false, 0, 0, 0);
+    likelihood *= OptionLikelihood(op, /*with_latency=*/false, 0, 0, 0,
+                                   &cache);
   }
   return likelihood;
 }
@@ -256,9 +293,10 @@ double CommitLikelihoodEstimator::EstimateBy(const TxnView& view, SimTime now,
   if (view.phase == TxnPhase::kCommitted) return 1.0;
   if (view.phase == TxnPhase::kAborted) return 0.0;
   double likelihood = 1.0;
+  AcceptProbCache cache;
   for (const OptionProgress& op : view.options) {
-    likelihood *=
-        OptionLikelihood(op, /*with_latency=*/true, now, budget, client_dc);
+    likelihood *= OptionLikelihood(op, /*with_latency=*/true, now, budget,
+                                   client_dc, &cache);
   }
   return likelihood;
 }
@@ -275,21 +313,21 @@ double CommitLikelihoodEstimator::EstimateFresh(
 double CommitLikelihoodEstimator::EstimateFreshBy(
     const std::vector<WriteOption>& writes, Duration sla,
     DcId client_dc) const {
+  // Admission must never shed load on a cold model: only links with learned
+  // data contribute a latency constraint. Warmth depends on client_dc only,
+  // not on the individual writes, so scan the links once per call.
+  bool warm = true;
+  for (DcId d = 0; d < mdcc_.num_dcs; ++d) {
+    if (!latency_->HasData(client_dc, d)) {
+      warm = false;
+      break;
+    }
+  }
+  if (!warm) return EstimateFresh(writes);
+
   double likelihood = 1.0;
+  AcceptProbCache cache;
   for (const WriteOption& w : writes) {
-    // Admission must never shed load on a cold model: only links with
-    // learned data contribute a latency constraint.
-    bool warm = true;
-    for (DcId d = 0; d < mdcc_.num_dcs; ++d) {
-      if (!latency_->HasData(client_dc, d)) {
-        warm = false;
-        break;
-      }
-    }
-    if (!warm) {
-      likelihood *= FreshOptionLikelihood(w.key);
-      continue;
-    }
     // Zero-vote in-flight option proposed "now": the latency-constrained
     // estimate then uses the learned RTT tails for every outstanding DC.
     OptionProgress op;
@@ -297,7 +335,7 @@ double CommitLikelihoodEstimator::EstimateFreshBy(
     op.votes.assign(static_cast<size_t>(mdcc_.num_dcs), -1);
     op.proposed_at = 0;
     likelihood *= OptionLikelihood(op, /*with_latency=*/true, /*now=*/0, sla,
-                                   client_dc);
+                                   client_dc, &cache);
   }
   return likelihood;
 }

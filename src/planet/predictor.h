@@ -17,6 +17,7 @@
 #define PLANET_PLANET_PREDICTOR_H_
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -41,6 +42,13 @@ struct PlanetConfig {
 
   /// EWMA weight of new conflict observations.
   double conflict_alpha = 0.05;
+
+  /// Upper bound on the number of keys the conflict model tracks
+  /// individually (per level). Beyond it, the coldest half is evicted, so
+  /// huge key spaces (F1 runs 1M keys) cannot grow the model without bound;
+  /// evicted keys fall back to the global rate, which is what a cold key
+  /// blends to anyway.
+  size_t conflict_max_tracked_keys = 65536;
 
   /// Assumed RTT before the latency model has data.
   Duration latency_prior_hint = Millis(250);
@@ -101,7 +109,9 @@ class LatencyModel {
 ///     calibrated signal; the vote-level rate is kept for diagnostics.
 class ConflictModel {
  public:
-  explicit ConflictModel(double alpha);
+  /// `max_tracked_keys` bounds each per-key map; see
+  /// PlanetConfig::conflict_max_tracked_keys.
+  explicit ConflictModel(double alpha, size_t max_tracked_keys = 65536);
 
   /// Feeds one acceptor vote (accepted / rejected-for-contention).
   void RecordVote(Key key, bool accepted);
@@ -121,15 +131,31 @@ class ConflictModel {
     return global_options_.observations();
   }
 
+  /// Currently tracked keys per level (bounded; exposed for tests).
+  size_t tracked_vote_keys() const { return votes_per_key_.size(); }
+  size_t tracked_option_keys() const { return options_per_key_.size(); }
+
  private:
-  static double Blend(const std::unordered_map<Key, Ewma>& per_key,
-                      const Ewma& global, Key key);
+  struct KeyStats {
+    Ewma ewma;
+    uint64_t last_touch = 0;  ///< model-wide tick of the last observation
+  };
+  using KeyMap = std::unordered_map<Key, KeyStats>;
+
+  static double Blend(const KeyMap& per_key, const Ewma& global, Key key);
+
+  /// Observes `x` on `key`, evicting the coldest half of the map when it
+  /// outgrows the bound. Eviction order is by last_touch (unique per entry),
+  /// so the model stays deterministic for a deterministic call sequence.
+  void Touch(KeyMap* per_key, Key key, double x);
 
   double alpha_;
+  size_t max_tracked_keys_;
+  uint64_t tick_ = 0;
   Ewma global_votes_;
   Ewma global_options_;
-  std::unordered_map<Key, Ewma> votes_per_key_;
-  std::unordered_map<Key, Ewma> options_per_key_;
+  KeyMap votes_per_key_;
+  KeyMap options_per_key_;
 };
 
 /// P(X >= k) for X ~ Binomial(n, p). Exposed for tests.
@@ -172,9 +198,21 @@ class CommitLikelihoodEstimator {
   double EffectiveAcceptProb(Key key) const;
 
  private:
+  /// Memo of EffectiveAcceptProb per key, valid for one estimator evaluation
+  /// (the underlying models do not change mid-evaluation). Avoids re-running
+  /// the 30-iteration bisection for every option on the same key. A flat
+  /// vector: transactions touch a handful of keys.
+  struct AcceptProbCache {
+    std::vector<std::pair<Key, double>> entries;
+  };
+
+  /// EffectiveAcceptProb with per-evaluation memoization.
+  double CachedAcceptProb(Key key, AcceptProbCache* cache) const;
+
   /// Likelihood of one in-flight option, optionally latency-constrained.
   double OptionLikelihood(const OptionProgress& op, bool with_latency,
-                          SimTime now, Duration budget, DcId client_dc) const;
+                          SimTime now, Duration budget, DcId client_dc,
+                          AcceptProbCache* cache) const;
 
   double ClassicRescue(double conflict_prob) const;
 

@@ -49,6 +49,17 @@ TEST(Histogram, PercentileOrdering) {
   EXPECT_LE(h.Percentile(100), h.max());
 }
 
+TEST(Histogram, PercentileRejectsFractionScale) {
+  // The API takes percent [0, 100]; a fraction like 0.5 meaning "median" is
+  // a caller bug (it would silently return the p0.5 tail instead).
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.Percentile(0), h.Percentile(0));  // 0 and 100 are valid
+  EXPECT_EQ(h.Percentile(100), h.max());
+  EXPECT_DEATH(h.Percentile(-1), "Percentile wants p in \\[0,100\\]");
+  EXPECT_DEATH(h.Percentile(100.5), "Percentile wants p in \\[0,100\\]");
+}
+
 TEST(Histogram, PercentileAccuracyUniform) {
   Histogram h;
   for (int64_t v = 1; v <= 100000; ++v) h.Record(v);

@@ -1,0 +1,223 @@
+// Tests of the sweep harness: SweepRunner determinism across thread counts
+// (including a real mini-cluster sweep), MetricsJson rendering and file
+// round-trip, and the deterministic JSON number/string formatting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+#include "harness/metrics_json.h"
+#include "harness/sweep.h"
+#include "workload/runners.h"
+
+namespace planet {
+namespace {
+
+/// One real sweep point: a tiny MDCC cluster driven for a few simulated
+/// seconds. Deterministic for a fixed seed.
+RunMetrics RunMiniCluster(uint64_t seed, uint64_t keys) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.clients_per_dc = 1;
+  Cluster cluster(options);
+
+  WorkloadConfig wl;
+  wl.num_keys = keys;
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 1;
+
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + i),
+        MakeMdccRunner(cluster.client(i), wl, cluster.ForkRng(200 + i)),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(5));
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+  return metrics;
+}
+
+std::vector<std::function<RunMetrics()>> MiniSweepPoints() {
+  std::vector<std::function<RunMetrics()>> points;
+  for (uint64_t keys : {1000u, 100u, 10u, 4u}) {
+    points.push_back([keys] { return RunMiniCluster(17, keys); });
+  }
+  return points;
+}
+
+/// Serializes a sweep's results exactly as a bench would, so comparisons
+/// catch any field-level divergence.
+std::string RenderSweep(const std::vector<RunMetrics>& results) {
+  MetricsJson json("mini_sweep");
+  for (size_t i = 0; i < results.size(); ++i) {
+    MetricsJson::Point point("point" + std::to_string(i));
+    point.Param("index", static_cast<long long>(i));
+    point.Metrics(results[i], Seconds(5));
+    json.Add(std::move(point));
+  }
+  return json.ToJson();
+}
+
+TEST(SweepRunner, SameSeedTwiceIsByteIdentical) {
+  SweepOptions opts;
+  SweepRunner runner(opts);
+  std::string first = RenderSweep(runner.Run(MiniSweepPoints()));
+  std::string second = RenderSweep(runner.Run(MiniSweepPoints()));
+  EXPECT_EQ(first, second);
+}
+
+TEST(SweepRunner, ParallelMatchesSerialByteForByte) {
+  // The tentpole guarantee: --threads N never changes any output byte.
+  SweepOptions serial;
+  serial.threads = 1;
+  std::string serial_doc =
+      RenderSweep(SweepRunner(serial).Run(MiniSweepPoints()));
+
+  for (int threads : {2, 8}) {
+    SweepOptions parallel;
+    parallel.threads = threads;
+    std::string parallel_doc =
+        RenderSweep(SweepRunner(parallel).Run(MiniSweepPoints()));
+    EXPECT_EQ(serial_doc, parallel_doc) << "threads=" << threads;
+  }
+}
+
+TEST(SweepRunner, ResultsInSubmissionOrder) {
+  std::vector<std::function<int()>> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back([i] { return i * 3; });
+  }
+  SweepOptions opts;
+  opts.threads = 8;
+  std::vector<int> results = SweepRunner(opts).Run(std::move(points));
+  ASSERT_EQ(results.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(results[size_t(i)], i * 3);
+}
+
+TEST(SweepRunner, MoreThreadsThanPointsIsFine) {
+  std::vector<std::function<int()>> points;
+  points.push_back([] { return 7; });
+  SweepOptions opts;
+  opts.threads = 16;
+  std::vector<int> results = SweepRunner(opts).Run(std::move(points));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], 7);
+}
+
+TEST(SweepRunner, EmptySweep) {
+  SweepOptions opts;
+  opts.threads = 4;
+  std::vector<std::function<int()>> points;
+  EXPECT_TRUE(SweepRunner(opts).Run(std::move(points)).empty());
+}
+
+TEST(MetricsJson, DocumentShapeAndOrder) {
+  MetricsJson json("unit");
+  MetricsJson::Point point("p0");
+  point.Param("keys", 64LL);
+  point.Param("stack", std::string("mdcc"));
+  point.Param("rate", 2.5);
+  point.Scalar("commit_rate", 0.75);
+  Histogram h;
+  h.Record(Millis(1));
+  h.Record(Millis(3));
+  point.Hist("latency", h);
+  json.Add(std::move(point));
+
+  EXPECT_EQ(json.num_points(), 1u);
+  std::string doc = json.ToJson();
+  EXPECT_NE(doc.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"label\": \"p0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"keys\": 64"), std::string::npos);
+  EXPECT_NE(doc.find("\"stack\": \"mdcc\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rate\": 2.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"commit_rate\": 0.75"), std::string::npos);
+  EXPECT_NE(doc.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"p50_us\": "), std::string::npos);
+  // params come before scalars, scalars before histograms (insertion order).
+  EXPECT_LT(doc.find("\"keys\""), doc.find("\"commit_rate\""));
+  EXPECT_LT(doc.find("\"commit_rate\""), doc.find("\"latency\""));
+}
+
+TEST(MetricsJson, CalibrationBlock) {
+  CalibrationTracker tracker(4);
+  tracker.Record(0.9, true);
+  tracker.Record(0.9, true);
+  tracker.Record(0.1, false);
+  MetricsJson json("unit");
+  MetricsJson::Point point("cal");
+  point.Calibration(tracker);
+  json.Add(std::move(point));
+  std::string doc = json.ToJson();
+  EXPECT_NE(doc.find("\"calibration\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ece\""), std::string::npos);
+  EXPECT_NE(doc.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(doc.find("\"mean_predicted\""), std::string::npos);
+}
+
+TEST(MetricsJson, WriteFileRoundTrips) {
+  MetricsJson json("roundtrip");
+  MetricsJson::Point point("p");
+  point.Scalar("x", 1.5);
+  json.Add(std::move(point));
+
+  std::string path = testing::TempDir() + "/planet_metrics_json_test.json";
+  ASSERT_TRUE(json.WriteFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), json.ToJson() + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(MetricsJson, WriteFileToBadPathFails) {
+  MetricsJson json("bad");
+  EXPECT_FALSE(json.WriteFile("/nonexistent-dir-zz/x.json").ok());
+}
+
+TEST(MetricsJson, RenderingIsDeterministic) {
+  auto build = [] {
+    MetricsJson json("det");
+    for (int i = 0; i < 3; ++i) {
+      MetricsJson::Point point("p" + std::to_string(i));
+      point.Param("i", static_cast<long long>(i));
+      point.Scalar("v", 0.1 * i);
+      json.Add(std::move(point));
+    }
+    return json.ToJson();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(JsonFormat, QuoteEscapes) {
+  EXPECT_EQ(json::Quote("plain"), "\"plain\"");
+  EXPECT_EQ(json::Quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json::Quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json::Quote("a\nb"), "\"a\\nb\"");
+}
+
+TEST(JsonFormat, NumberFormatting) {
+  EXPECT_EQ(json::Number(0), "0");
+  EXPECT_EQ(json::Number(42), "42");
+  EXPECT_EQ(json::Number(-7), "-7");
+  EXPECT_EQ(json::Number(2.5), "2.5");
+  EXPECT_EQ(json::Number(1e15), "1000000000000000");
+  // Non-finite values must still produce valid JSON.
+  EXPECT_EQ(json::Number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json::Number(std::numeric_limits<double>::infinity()), "null");
+}
+
+}  // namespace
+}  // namespace planet

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace planet {
 namespace {
 
@@ -83,6 +85,43 @@ TEST(ConflictModel, UnseenKeyUsesGlobal) {
   for (int i = 0; i < 100; ++i) model.RecordVote(1, false);
   double unseen = model.ConflictProb(999);
   EXPECT_GT(unseen, 0.5) << "global rate should dominate for unseen keys";
+}
+
+TEST(ConflictModel, TrackedKeysStayBounded) {
+  ConflictModel model(0.1, /*max_tracked_keys=*/100);
+  for (Key k = 0; k < 100000; ++k) {
+    model.RecordVote(k, k % 2 == 0);
+    model.RecordOptionOutcome(k, k % 2 == 0);
+  }
+  EXPECT_LE(model.tracked_vote_keys(), 100u);
+  EXPECT_LE(model.tracked_option_keys(), 100u);
+  // The global rate still reflects every observation.
+  EXPECT_EQ(model.observations(), 100000u);
+  EXPECT_EQ(model.option_observations(), 100000u);
+}
+
+TEST(ConflictModel, EvictionSparesRecentlyTouchedKeys) {
+  ConflictModel model(0.1, /*max_tracked_keys=*/64);
+  // Key 7 is hot: touched on every round, so it must survive churn from a
+  // stream of one-shot cold keys.
+  for (Key cold = 1000; cold < 2000; ++cold) {
+    model.RecordVote(7, false);
+    model.RecordVote(cold, true);
+  }
+  EXPECT_LE(model.tracked_vote_keys(), 64u);
+  EXPECT_GT(model.ConflictProb(7), 0.9)
+      << "hot key's per-key EWMA must survive cold-key eviction";
+}
+
+TEST(ConflictModel, EvictionIsDeterministic) {
+  auto run = [] {
+    ConflictModel model(0.1, /*max_tracked_keys=*/32);
+    for (Key k = 0; k < 1000; ++k) model.RecordVote(k, k % 3 == 0);
+    std::vector<double> probs;
+    for (Key k = 0; k < 1000; ++k) probs.push_back(model.ConflictProb(k));
+    return probs;
+  };
+  EXPECT_EQ(run(), run());
 }
 
 class EstimatorTest : public ::testing::Test {

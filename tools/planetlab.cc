@@ -12,6 +12,7 @@
 //   planetlab --admission 0.4 --keys 50 --rate 20
 //   planetlab --spike 1:20:40:250               # +250ms on DC 1, t=20..40s
 //   planetlab --dist zipf --theta 0.99 --commutative
+//   planetlab --json out.json                   # machine-readable metrics
 //   planetlab --help
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,7 @@
 #include "common/table.h"
 #include "harness/cluster.h"
 #include "harness/metrics.h"
+#include "harness/sweep.h"
 #include "workload/runners.h"
 
 using namespace planet;
@@ -57,6 +59,7 @@ struct Args {
   int spike_dc = 0, spike_start = 0, spike_end = 0, spike_extra_ms = 0;
   bool csv = false;
   bool verbose = false;
+  SweepOptions sweep;  // --threads (harmless here: one point), --json
 };
 
 void Usage() {
@@ -82,7 +85,9 @@ planet:     --deadline MS     speculation deadline
             --admission TAU   enable admission control
 faults:     --spike DC:START:END:MS   latency spike on one DC
 output:     --csv             also print CSV
+            --json PATH       write metrics as a JSON document
             --verbose         extra diagnostics
+harness:    --threads N       sweep-runner threads (single run: no effect)
 )");
 }
 
@@ -146,6 +151,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (a == "--csv") {
       args->csv = true;
+    } else if (a == "--json") {
+      args->sweep.json_path = need(i);
+    } else if (a == "--threads") {
+      args->sweep.threads = atoi(need(i));
+      if (args->sweep.threads < 1) {
+        std::fprintf(stderr, "--threads wants a positive count\n");
+        return false;
+      }
     } else if (a == "--verbose") {
       args->verbose = true;
     } else {
@@ -175,8 +188,17 @@ WorkloadConfig MakeWorkload(const Args& args) {
   return wl;
 }
 
-void PrintSummary(const Args& args, const RunMetrics& m,
-                  const PlanetStats* planet_stats) {
+/// Everything a run produces; the cluster itself dies with the run closure.
+struct LabResult {
+  RunMetrics metrics;
+  PlanetStats planet_stats;
+  bool has_planet_stats = false;
+  bool converged = false;
+  std::vector<std::vector<std::string>> rtt_rows;  // verbose RTT table
+};
+
+void PrintSummary(const Args& args, const LabResult& r) {
+  const RunMetrics& m = r.metrics;
   Duration run = Seconds(args.duration_s);
   Table outcomes({"metric", "value"});
   outcomes.AddRow({"finished", Table::FmtInt((long long)m.finished())});
@@ -186,15 +208,15 @@ void PrintSummary(const Args& args, const RunMetrics& m,
   outcomes.AddRow({"rejected (admission)", Table::FmtInt((long long)m.rejected)});
   outcomes.AddRow({"commit rate", Table::FmtPct(m.CommitRate())});
   outcomes.AddRow({"goodput/s", Table::Fmt(m.Goodput(run), 2)});
-  if (planet_stats != nullptr) {
+  if (r.has_planet_stats) {
     outcomes.AddRow({"speculated",
-                     Table::FmtInt((long long)planet_stats->speculated)});
+                     Table::FmtInt((long long)r.planet_stats.speculated)});
     outcomes.AddRow({"apologies",
-                     Table::FmtInt((long long)planet_stats->apologies)});
+                     Table::FmtInt((long long)r.planet_stats.apologies)});
     outcomes.AddRow({"apology rate",
-                     Table::Fmt(planet_stats->ApologyRate(), 4)});
+                     Table::Fmt(r.planet_stats.ApologyRate(), 4)});
     outcomes.AddRow({"gave up",
-                     Table::FmtInt((long long)planet_stats->gave_up)});
+                     Table::FmtInt((long long)r.planet_stats.gave_up)});
   }
   outcomes.Print("outcomes", args.csv);
 
@@ -206,7 +228,34 @@ void PrintSummary(const Args& args, const RunMetrics& m,
   latency.Print("latency", args.csv);
 }
 
-int RunTpc(const Args& args) {
+void ExportJson(const Args& args, const LabResult& r) {
+  if (args.sweep.json_path.empty()) return;
+  MetricsJson json("planetlab");
+  MetricsJson::Point point(args.stack);
+  point.Param("stack", args.stack);
+  point.Param("dcs", (long long)args.dcs);
+  point.Param("clients_per_dc", (long long)args.clients_per_dc);
+  point.Param("seed", (long long)args.seed);
+  point.Param("duration_s", (long long)args.duration_s);
+  point.Param("keys", (long long)args.keys);
+  point.Param("dist", args.dist);
+  point.Param("reads", (long long)args.reads);
+  point.Param("writes", (long long)args.writes);
+  point.Param("commutative", (long long)(args.commutative ? 1 : 0));
+  if (args.rate > 0) point.Param("rate_per_client", args.rate);
+  if (args.deadline_ms > 0) {
+    point.Param("deadline_ms", (long long)args.deadline_ms);
+  }
+  if (args.threshold >= 0) point.Param("threshold", args.threshold);
+  if (args.admission > 0) point.Param("admission", args.admission);
+  point.Scalar("replicas_converged", r.converged ? 1 : 0);
+  point.Metrics(r.metrics, Seconds(args.duration_s));
+  if (r.has_planet_stats) point.Speculation(r.planet_stats);
+  json.Add(std::move(point));
+  ExportMetricsJson(args.sweep, json);
+}
+
+LabResult RunTpc(const Args& args) {
   TpcClusterOptions options;
   options.seed = args.seed;
   options.tpc.num_dcs = args.dcs;
@@ -217,7 +266,7 @@ int RunTpc(const Args& args) {
     std::fprintf(stderr, "note: --spike applies to the mdcc/planet stacks\n");
   }
   WorkloadConfig wl = MakeWorkload(args);
-  RunMetrics metrics;
+  LabResult result;
   LoadGenerator::Options load;
   load.rate_per_sec = args.rate;
   load.think_time_mean = Millis(args.think_ms);
@@ -226,26 +275,16 @@ int RunTpc(const Args& args) {
     auto gen = std::make_unique<LoadGenerator>(
         &cluster.sim(), cluster.ForkRng(100 + i),
         MakeTpcRunner(cluster.client(i), wl, cluster.ForkRng(200 + i)), load);
-    gen->SetResultSink(metrics.Sink());
+    gen->SetResultSink(result.metrics.Sink());
     gen->Start(Seconds(args.duration_s));
     generators.push_back(std::move(gen));
   }
   cluster.Drain();
-  PrintSummary(args, metrics, nullptr);
-  std::printf("replicas converged: %s\n",
-              cluster.ReplicasConverged() ? "yes" : "NO");
-  return 0;
+  result.converged = cluster.ReplicasConverged();
+  return result;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  if (!ParseArgs(argc, argv, &args)) return 2;
-  if (args.verbose) logging::SetLevel(LogLevel::kInfo);
-
-  if (args.stack == "2pc") return RunTpc(args);
-
+LabResult RunMdccOrPlanet(const Args& args) {
   ClusterOptions options;
   options.seed = args.seed;
   options.mdcc.num_dcs = args.dcs;
@@ -269,7 +308,7 @@ int main(int argc, char** argv) {
   }
 
   WorkloadConfig wl = MakeWorkload(args);
-  RunMetrics metrics;
+  LabResult result;
   LoadGenerator::Options load;
   load.rate_per_sec = args.rate;
   load.think_time_mean = Millis(args.think_ms);
@@ -279,44 +318,74 @@ int main(int argc, char** argv) {
     TxnRunner runner;
     if (args.stack == "mdcc") {
       runner = MakeMdccRunner(cluster.client(i), wl, cluster.ForkRng(200 + i));
-    } else if (args.stack == "planet") {
+    } else {
       PlanetRunnerPolicy policy;
       policy.speculation_deadline = Millis(args.deadline_ms);
       policy.speculate_threshold = args.threshold;
       policy.give_up_below = args.giveup;
       runner = MakePlanetRunner(cluster.planet_client(i), wl,
                                 cluster.ForkRng(200 + i), policy);
-    } else {
-      std::fprintf(stderr, "unknown stack %s\n", args.stack.c_str());
-      return 2;
     }
     auto gen = std::make_unique<LoadGenerator>(
         &cluster.sim(), cluster.ForkRng(100 + i), std::move(runner), load);
-    gen->SetResultSink(metrics.Sink());
+    gen->SetResultSink(result.metrics.Sink());
     gen->Start(Seconds(args.duration_s));
     generators.push_back(std::move(gen));
   }
   cluster.Drain();
 
-  PrintSummary(args, metrics,
-               args.stack == "planet" ? &cluster.context().stats() : nullptr);
-  if (args.verbose && args.stack == "planet") {
-    LatencyModel& lm = cluster.context().latency_model();
-    Table rtts({"client dc", "replica dc", "rtt p50", "rtt p99", "samples"});
-    for (DcId a = 0; a < args.dcs; ++a) {
-      for (DcId b = 0; b < args.dcs; ++b) {
-        const Histogram& h = lm.HistogramFor(a, b);
-        if (h.count() == 0) continue;
-        rtts.AddRow({options.wan.dc_names[size_t(a)],
-                     options.wan.dc_names[size_t(b)],
-                     Table::FmtUs(h.Percentile(50)),
-                     Table::FmtUs(h.Percentile(99)),
-                     Table::FmtInt((long long)h.count())});
+  if (args.stack == "planet") {
+    result.planet_stats = cluster.context().stats();
+    result.has_planet_stats = true;
+    if (args.verbose) {
+      LatencyModel& lm = cluster.context().latency_model();
+      for (DcId a = 0; a < args.dcs; ++a) {
+        for (DcId b = 0; b < args.dcs; ++b) {
+          const Histogram& h = lm.HistogramFor(a, b);
+          if (h.count() == 0) continue;
+          result.rtt_rows.push_back({options.wan.dc_names[size_t(a)],
+                                     options.wan.dc_names[size_t(b)],
+                                     std::string(Table::FmtUs(h.Percentile(50))),
+                                     std::string(Table::FmtUs(h.Percentile(99))),
+                                     std::string(Table::FmtInt((long long)h.count()))});
+        }
       }
     }
+  }
+  result.converged = cluster.ReplicasConverged();
+  // The cluster (and its simulator) dies with this closure; don't leave the
+  // log time source pointing at it.
+  logging::SetTimeSource(nullptr);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  if (args.verbose) logging::SetLevel(LogLevel::kInfo);
+  if (args.stack != "planet" && args.stack != "mdcc" && args.stack != "2pc") {
+    std::fprintf(stderr, "unknown stack %s\n", args.stack.c_str());
+    return 2;
+  }
+
+  // One configuration = one sweep point; SweepRunner keeps planetlab on the
+  // same harness (and --json schema) as the bench sweeps.
+  std::vector<std::function<LabResult()>> points;
+  points.push_back([&args] {
+    return args.stack == "2pc" ? RunTpc(args) : RunMdccOrPlanet(args);
+  });
+  SweepRunner runner(args.sweep);
+  LabResult result = std::move(runner.Run(std::move(points))[0]);
+
+  PrintSummary(args, result);
+  if (!result.rtt_rows.empty()) {
+    Table rtts({"client dc", "replica dc", "rtt p50", "rtt p99", "samples"});
+    for (const auto& row : result.rtt_rows) rtts.AddRow(row);
     rtts.Print("learned RTT model", args.csv);
   }
-  std::printf("replicas converged: %s\n",
-              cluster.ReplicasConverged() ? "yes" : "NO");
+  std::printf("replicas converged: %s\n", result.converged ? "yes" : "NO");
+  ExportJson(args, result);
   return 0;
 }

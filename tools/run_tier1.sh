@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, and run the full ctest suite.
+#
+# Usage:
+#   tools/run_tier1.sh                 # plain RelWithDebInfo build in build/
+#   tools/run_tier1.sh --sanitize      # ASan+UBSan build in build-san/
+#   tools/run_tier1.sh --sanitize thread   # any -fsanitize= spec
+#
+# Exits non-zero if configuration, compilation, or any test fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+SANITIZE=""
+if [[ "${1:-}" == "--sanitize" ]]; then
+  SANITIZE="${2:-address,undefined}"
+  BUILD_DIR=build-san
+fi
+
+CMAKE_ARGS=(-B "$BUILD_DIR" -S .)
+if [[ -n "$SANITIZE" ]]; then
+  CMAKE_ARGS+=("-DPLANET_SANITIZE=$SANITIZE")
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
