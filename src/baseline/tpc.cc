@@ -34,11 +34,11 @@ void TpcNode::HandlePrepare(TxnId txn, Key key, Version read_version,
 void TpcNode::HandleCommit(TxnId txn, const WriteOption& option,
                            std::function<void()> reply) {
   PLANET_CHECK(config_.MasterOf(option.key) == dc_);
+  // A missing lock is legal after a crash-restart: locks are volatile, but
+  // the coordinator's commit decision stands, so apply regardless.
   auto lock = locks_.find(option.key);
-  PLANET_CHECK_MSG(lock != locks_.end() && lock->second == txn,
-                   "commit without lock, key=" << option.key);
+  if (lock != locks_.end() && lock->second == txn) locks_.erase(lock);
   ApplyOrdered(option);
-  locks_.erase(lock);
 
   int needed = config_.ReplicationQuorum() - 1;  // master already holds it
   if (needed <= 0) {
@@ -110,6 +110,19 @@ void TpcNode::HandleRead(Key key, std::function<void(RecordView)> reply) {
   reply(store_.Read(key));
 }
 
+void TpcNode::Crash() {
+  PLANET_CHECK_MSG(!crashed(), "crash of already-crashed 2PC node dc=" << dc_);
+  BeginCrash();
+  locks_.clear();
+  deferred_.clear();
+}
+
+void TpcNode::Restart() {
+  PLANET_CHECK_MSG(crashed(), "restart of live 2PC node dc=" << dc_);
+  EndCrash();
+  store_.RecoverFromWal();
+}
+
 // --------------------------------------------------------------- client
 
 TpcClient::TpcClient(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
@@ -135,14 +148,30 @@ void TpcClient::Read(TxnId txn, Key key, ReadCallback cb) {
   PLANET_CHECK(state != nullptr && state->phase == Phase::kExecuting);
   TpcNode* node = nodes_[static_cast<size_t>(dc_)];
   NodeId node_id = node->id();
-  net_->Send(id_, node_id, [this, node, node_id, txn, key, cb = std::move(cb)] {
-    node->HandleRead(key, [this, node_id, txn, key, cb](RecordView view) {
-      net_->Send(node_id, id_, [this, txn, key, cb, view] {
+  auto done = std::make_shared<bool>(false);
+  auto timeout_event = std::make_shared<EventId>(kInvalidEventId);
+  auto cb_shared = std::make_shared<ReadCallback>(std::move(cb));
+  if (config_.read_timeout > 0) {
+    *timeout_event = sim_->Schedule(config_.read_timeout, [done, cb_shared] {
+      if (*done) return;
+      *done = true;
+      (*cb_shared)(Status::Unavailable("read timeout"), RecordView{});
+    });
+  }
+  net_->Send(id_, node_id,
+             [this, node, node_id, txn, key, done, timeout_event, cb_shared] {
+    node->HandleRead(key, [this, node_id, txn, key, done, timeout_event,
+                           cb_shared](RecordView view) {
+      net_->Send(node_id, id_,
+                 [this, txn, key, done, timeout_event, cb_shared, view] {
+        if (*done) return;
+        *done = true;
+        if (*timeout_event != kInvalidEventId) sim_->Cancel(*timeout_event);
         TxnState* state = Find(txn);
         if (state != nullptr && state->phase == Phase::kExecuting) {
           state->read_versions[key] = view.version;
         }
-        cb(Status::OK(), view);
+        (*cb_shared)(Status::OK(), view);
       });
     });
   });
@@ -167,6 +196,12 @@ Status TpcClient::Write(TxnId txn, Key key, Value value) {
   return Status::OK();
 }
 
+void TpcClient::AbortEarly(TxnId txn) {
+  TxnState* state = Find(txn);
+  if (state == nullptr || state->phase != Phase::kExecuting) return;
+  txns_.erase(txn);
+}
+
 void TpcClient::Commit(TxnId txn, CommitCallback cb) {
   TxnState* state = Find(txn);
   PLANET_CHECK(state != nullptr && state->phase == Phase::kExecuting);
@@ -180,9 +215,17 @@ void TpcClient::Commit(TxnId txn, CommitCallback cb) {
   state->votes_pending = static_cast<int>(state->writes.size());
   state->timeout_event = sim_->Schedule(config_.txn_timeout, [this, txn] {
     TxnState* st = Find(txn);
-    if (st == nullptr || st->phase != Phase::kPreparing) return;
+    if (st == nullptr || st->phase == Phase::kDone) return;
     st->timeout_event = kInvalidEventId;
-    StartPhase2(*st, /*commit=*/false, Status::Unavailable("prepare timeout"));
+    if (st->phase == Phase::kPreparing) {
+      StartPhase2(*st, /*commit=*/false,
+                  Status::Unavailable("prepare timeout"));
+    } else {
+      // Phase 2 hung (a home node crashed mid-commit): the classic 2PC
+      // in-doubt window. Unwedge the client; the decision stands at
+      // whichever replicas already received it.
+      Finish(*st, Status::Unavailable("commit outcome unknown"));
+    }
   });
 
   for (const auto& [key, option] : state->writes) {

@@ -27,6 +27,9 @@ namespace planet {
 struct TpcConfig {
   int num_dcs = 5;
   Duration txn_timeout = Seconds(30);
+  /// Deadline for a read against the local replica (a crashed local node
+  /// otherwise hangs the client forever). 0 disables.
+  Duration read_timeout = Seconds(10);
   /// Master placement, like MdccConfig: -1 hashes keys across DCs.
   int master_dc = -1;
 
@@ -68,6 +71,13 @@ class TpcNode : public Node {
   /// Local read-committed read.
   void HandleRead(Key key, std::function<void(RecordView)> reply);
 
+  /// Crash/restart: locks and deferred chains are volatile; committed state
+  /// is rebuilt from the WAL. 2PC has no anti-entropy, so replication this
+  /// node missed while down stays missing — the blocking behaviour the
+  /// baseline is meant to exhibit.
+  void Crash();
+  void Restart();
+
   size_t LockedKeys() const { return locks_.size(); }
 
  private:
@@ -94,6 +104,9 @@ class TpcClient : public Node {
   void Read(TxnId txn, Key key, ReadCallback cb);
   Status Write(TxnId txn, Key key, Value value);
   void Commit(TxnId txn, CommitCallback cb);
+
+  /// Drops an unsubmitted transaction (e.g. after a read timeout).
+  void AbortEarly(TxnId txn);
 
   uint64_t committed() const { return committed_; }
   uint64_t aborted() const { return aborted_; }

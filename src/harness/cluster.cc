@@ -39,6 +39,26 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
     planet_clients_.push_back(
         std::make_unique<PlanetClient>(clients_.back().get(), ctx_.get()));
   }
+
+  if (!options_.faults.empty()) {
+    Status valid = options_.faults.Validate(n);
+    PLANET_CHECK_MSG(valid.ok(), valid.ToString());
+    fault_injector_ = std::make_unique<FaultInjector>(
+        &sim_, options_.faults, MakeFaultActions());
+  }
+}
+
+FaultActions Cluster::MakeFaultActions() {
+  FaultActions actions;
+  actions.crash_replica = [this](DcId dc) { CrashReplica(dc); };
+  actions.restart_replica = [this](DcId dc) { RestartReplica(dc); };
+  actions.partition_dc = [this](DcId dc) { PartitionDc(dc); };
+  actions.heal_dc = [this](DcId dc) { HealDc(dc); };
+  actions.spike_dc = [this](DcId dc, Duration extra, double sigma) {
+    SpikeDc(dc, extra, sigma);
+  };
+  actions.clear_spike_dc = [this](DcId dc) { ClearSpikeDc(dc); };
+  return actions;
 }
 
 void Cluster::SeedKey(Key key, Value value) {
@@ -59,8 +79,41 @@ void Cluster::HealDc(DcId dc) {
   for (DcId other = 0; other < options_.mdcc.num_dcs; ++other) {
     if (other != dc) net_->SetPartitioned(dc, other, false);
   }
-  replicas_[static_cast<size_t>(dc)]->RequestSyncAll();
+  // Anti-entropy is wired in, not left to the caller: sync now, and once
+  // more a recovery period later for commits still in flight at heal time.
+  Replica* replica = replicas_[static_cast<size_t>(dc)].get();
+  replica->RequestSyncAll();
+  Duration followup = options_.recovery_period > 0 ? options_.recovery_period
+                                                   : Seconds(10);
+  sim_.Schedule(followup, [replica] {
+    if (!replica->crashed()) replica->RequestSyncAll();
+  });
 }
+
+void Cluster::CrashReplica(DcId dc) {
+  replicas_[static_cast<size_t>(dc)]->Crash();
+}
+
+void Cluster::RestartReplica(DcId dc) {
+  // Restart runs WAL replay + an immediate sync; schedule one more sync a
+  // recovery period later for commits that race with the first one.
+  Replica* replica = replicas_[static_cast<size_t>(dc)].get();
+  replica->Restart();
+  Duration followup = options_.recovery_period > 0 ? options_.recovery_period
+                                                   : Seconds(10);
+  sim_.Schedule(followup, [replica] {
+    if (!replica->crashed()) replica->RequestSyncAll();
+  });
+}
+
+void Cluster::SpikeDc(DcId dc, Duration extra, double sigma) {
+  DcDegradation spike;
+  spike.extra_median = extra;
+  spike.extra_sigma = sigma;
+  net_->SetDegradation(dc, spike);
+}
+
+void Cluster::ClearSpikeDc(DcId dc) { net_->ClearDegradation(dc); }
 
 size_t Cluster::TotalPending() const {
   size_t total = 0;
@@ -103,6 +156,49 @@ TpcCluster::TpcCluster(const TpcClusterOptions& options) : options_(options) {
         &sim_, net_.get(), next_id++, dc, root.Fork(1000 + i), options_.tpc,
         peer_ptrs));
   }
+
+  if (!options_.faults.empty()) {
+    Status valid = options_.faults.Validate(n);
+    PLANET_CHECK_MSG(valid.ok(), valid.ToString());
+    fault_injector_ = std::make_unique<FaultInjector>(
+        &sim_, options_.faults, MakeFaultActions());
+  }
+}
+
+void TpcCluster::PartitionDc(DcId dc) {
+  for (DcId other = 0; other < options_.tpc.num_dcs; ++other) {
+    if (other != dc) net_->SetPartitioned(dc, other, true);
+  }
+}
+
+void TpcCluster::HealDc(DcId dc) {
+  for (DcId other = 0; other < options_.tpc.num_dcs; ++other) {
+    if (other != dc) net_->SetPartitioned(dc, other, false);
+  }
+}
+
+void TpcCluster::CrashNode(DcId dc) {
+  nodes_[static_cast<size_t>(dc)]->Crash();
+}
+
+void TpcCluster::RestartNode(DcId dc) {
+  nodes_[static_cast<size_t>(dc)]->Restart();
+}
+
+FaultActions TpcCluster::MakeFaultActions() {
+  FaultActions actions;
+  actions.crash_replica = [this](DcId dc) { CrashNode(dc); };
+  actions.restart_replica = [this](DcId dc) { RestartNode(dc); };
+  actions.partition_dc = [this](DcId dc) { PartitionDc(dc); };
+  actions.heal_dc = [this](DcId dc) { HealDc(dc); };
+  actions.spike_dc = [this](DcId dc, Duration extra, double sigma) {
+    DcDegradation spike;
+    spike.extra_median = extra;
+    spike.extra_sigma = sigma;
+    net_->SetDegradation(dc, spike);
+  };
+  actions.clear_spike_dc = [this](DcId dc) { net_->ClearDegradation(dc); };
+  return actions;
 }
 
 void TpcCluster::SeedKey(Key key, Value value) {

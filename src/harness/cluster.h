@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "baseline/tpc.h"
+#include "fault/fault.h"
 #include "harness/wan.h"
 #include "mdcc/client.h"
 #include "mdcc/replica.h"
@@ -25,6 +26,9 @@ struct ClusterOptions {
   /// Pending-option resolution period (heals partitioned replicas);
   /// 0 disables the recovery protocol.
   Duration recovery_period = Seconds(10);
+  /// Deterministic fault schedule applied by a FaultInjector at build time
+  /// (crashes, partitions, spikes). Empty = no faults.
+  FaultSchedule faults;
 };
 
 /// A fully wired MDCC + PLANET deployment. Clients are laid out round-robin:
@@ -53,9 +57,22 @@ class Cluster {
   /// Cuts one DC off from every other DC (its clients keep local access).
   void PartitionDc(DcId dc);
 
-  /// Reconnects the DC and triggers an anti-entropy sync on its replica
-  /// (the ops runbook step after a partition heals).
+  /// Reconnects the DC. Anti-entropy runs automatically: once immediately,
+  /// and once more after the recovery period to catch commits that were
+  /// still in flight when the partition healed.
   void HealDc(DcId dc);
+
+  /// Powers off / restores one DC's replica (see Replica::Crash/Restart).
+  void CrashReplica(DcId dc);
+  void RestartReplica(DcId dc);
+
+  /// Adds / clears a latency spike on every link touching a DC.
+  void SpikeDc(DcId dc, Duration extra, double sigma = 0.2);
+  void ClearSpikeDc(DcId dc);
+
+  /// The effector bundle a FaultInjector drives (also used by benches that
+  /// build their own schedules after construction).
+  FaultActions MakeFaultActions();
 
   /// Runs the simulation until the event queue is empty.
   void Drain() { sim_.Run(); }
@@ -76,6 +93,7 @@ class Cluster {
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<PlanetContext> ctx_;
   std::vector<std::unique_ptr<PlanetClient>> planet_clients_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 };
 
 /// Options of a 2PC baseline cluster.
@@ -84,6 +102,8 @@ struct TpcClusterOptions {
   TpcConfig tpc;
   WanPreset wan = FiveDcWan();
   int clients_per_dc = 1;
+  /// Deterministic fault schedule (same grammar as the MDCC cluster's).
+  FaultSchedule faults;
 };
 
 /// A fully wired 2PC deployment (same WAN, same layout).
@@ -101,6 +121,13 @@ class TpcCluster {
   void Drain() { sim_.Run(); }
   bool ReplicasConverged() const;
 
+  /// Fault effectors for the 2PC stack (crash/restart/partition/heal/spike).
+  void PartitionDc(DcId dc);
+  void HealDc(DcId dc);
+  void CrashNode(DcId dc);
+  void RestartNode(DcId dc);
+  FaultActions MakeFaultActions();
+
   Rng ForkRng(uint64_t tag) const { return Rng(options_.seed).Fork(tag); }
 
  private:
@@ -109,6 +136,7 @@ class TpcCluster {
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<TpcNode>> nodes_;
   std::vector<std::unique_ptr<TpcClient>> clients_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace planet

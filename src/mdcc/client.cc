@@ -1,6 +1,7 @@
 #include "mdcc/client.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
 
@@ -28,6 +29,7 @@ Client::Client(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
       config_(config),
       replicas_(std::move(replicas)) {
   PLANET_CHECK(static_cast<int>(replicas_.size()) == config_.num_dcs);
+  group_epoch_.assign(static_cast<size_t>(config_.num_dcs), 0);
 }
 
 TxnId Client::Begin() {
@@ -67,13 +69,36 @@ void Client::Read(TxnId txn, Key key, ReadCallback cb) {
     return;
   }
 
+  // The reply and the timeout race; whoever fires first answers the read.
+  // A crashed or partitioned local replica otherwise hangs the transaction
+  // (and its closed-loop client) forever.
+  auto done = std::make_shared<bool>(false);
+  auto timeout_event = std::make_shared<EventId>(kInvalidEventId);
+  if (config_.read_timeout > 0) {
+    *timeout_event = sim_->Schedule(config_.read_timeout, [done, cb] {
+      if (*done) return;
+      *done = true;
+      cb(Status::Unavailable("read timeout"), RecordView{});
+    });
+  }
+
+  if (global_send_listener_) global_send_listener_(dc_);
   Replica* replica = local_replica();
   NodeId replica_id = replica->id();
-  net_->Send(id_, replica_id, [this, replica, replica_id, txn, key,
-                               cb = std::move(cb)] {
+  net_->Send(id_, replica_id, [this, replica, replica_id, txn, key, done,
+                               timeout_event, cb = std::move(cb)] {
     replica->HandleRead(
-        key, id_, [this, replica_id, txn, key, cb](RecordView view) {
-          net_->Send(replica_id, id_, [this, txn, key, cb, view]() mutable {
+        key, id_,
+        [this, replica_id, txn, key, done, timeout_event,
+         cb](RecordView view) {
+          net_->Send(replica_id, id_,
+                     [this, txn, key, done, timeout_event, cb,
+                      view]() mutable {
+            if (*done) return;
+            *done = true;
+            if (*timeout_event != kInvalidEventId) {
+              sim_->Cancel(*timeout_event);
+            }
             TxnState* state = Find(txn);
             if (state != nullptr && !state->done &&
                 state->view.phase == TxnPhase::kExecuting) {
@@ -185,6 +210,7 @@ void Client::ProposeFast(TxnState& state) {
       Replica* replica = replicas_[static_cast<size_t>(d)];
       NodeId replica_id = replica->id();
       ++state.outstanding_replies;
+      if (global_send_listener_) global_send_listener_(d);
       SimTime sent = Now();
       net_->Send(id_, replica_id, [this, replica, replica_id, option, d,
                                    sent] {
@@ -242,38 +268,118 @@ void Client::OnVoteEvent(const VoteEvent& event) {
 
 void Client::StartClassic(TxnState& state, OptionProgress& op) {
   op.classic_inflight = true;
-  ++classic_fallbacks_;
-  if (state.view.classic_time == 0) state.view.classic_time = Now();
-  if (state.view.phase == TxnPhase::kProposing) {
-    SetPhase(state, TxnPhase::kClassic);
+  if (op.classic_attempts == 0) {
+    // Failover retries of the same option are not new fallbacks.
+    ++classic_fallbacks_;
+    if (state.view.classic_time == 0) state.view.classic_time = Now();
+    if (state.view.phase == TxnPhase::kProposing) {
+      SetPhase(state, TxnPhase::kClassic);
+    }
   }
-  const WriteOption option = op.option;
-  DcId master_dc = config_.MasterOf(option.key);
+
+  size_t group = static_cast<size_t>(config_.MasterOf(op.option.key));
+  int epoch = std::max(group_epoch_[group], op.classic_epoch);
+  op.classic_epoch = epoch;
+  ++op.classic_attempts;
+
+  WriteOption option = op.option;
+  option.epoch = epoch;
+  DcId master_dc = config_.MasterAt(option.key, epoch);
   Replica* master = replicas_[static_cast<size_t>(master_dc)];
   NodeId master_id = master->id();
   ++state.outstanding_replies;
+  if (global_send_listener_) global_send_listener_(master_dc);
+
+  TxnId txn = state.view.id;
+  if (config_.master_failover_timeout > 0) {
+    op.failover_event =
+        sim_->Schedule(config_.master_failover_timeout,
+                       [this, txn, key = option.key, epoch] {
+                         OnClassicFailover(txn, key, epoch);
+                       });
+  }
   SimTime sent = Now();
-  net_->Send(id_, master_id, [this, master, master_id, option, sent] {
+  net_->Send(id_, master_id,
+             [this, master, master_id, master_dc, option, epoch, sent] {
     master->HandleClassicPropose(
-        option, id_, [this, master_id, option, sent](bool chosen) {
-          net_->Send(master_id, id_, [this, option, chosen, sent] {
-            OnClassicResult(option.txn, option.key, chosen, Now() - sent);
+        option, id_,
+        [this, master_id, master_dc, option, epoch, sent](ClassicReply r) {
+          net_->Send(master_id, id_,
+                     [this, master_dc, option, epoch, r, sent] {
+            OnClassicResult(option.txn, option.key, epoch, master_dc, r,
+                            Now() - sent);
           });
         });
   });
 }
 
-void Client::OnClassicResult(TxnId txn, Key key, bool chosen, Duration rtt) {
-  (void)rtt;
+void Client::OnClassicResult(TxnId txn, Key key, int attempt_epoch,
+                             DcId master_dc, ClassicReply result,
+                             Duration rtt) {
+  if (global_classic_listener_) {
+    global_classic_listener_(master_dc, result.chosen, rtt);
+  }
+  size_t group = static_cast<size_t>(config_.MasterOf(key));
+  if (result.epoch_hint > group_epoch_[group]) {
+    group_epoch_[group] = result.epoch_hint;
+  }
   TxnState* state = Find(txn);
   if (state == nullptr) return;
   --state->outstanding_replies;
   OptionProgress* op = FindOption(*state, key);
   if (op != nullptr && !op->decided) {
-    op->classic_inflight = false;
-    OnOptionDecided(*state, *op, chosen, /*via_classic=*/true);
+    if (result.chosen) {
+      // A chosen option is chosen regardless of which attempt won the race.
+      if (op->failover_event != kInvalidEventId) {
+        sim_->Cancel(op->failover_event);
+        op->failover_event = kInvalidEventId;
+      }
+      op->classic_inflight = false;
+      OnOptionDecided(*state, *op, /*chosen=*/true, /*via_classic=*/true);
+    } else if (attempt_epoch < op->classic_epoch) {
+      // Reject from a superseded attempt; the live attempt will decide.
+    } else if (result.wrong_master && config_.master_failover_timeout > 0 &&
+               op->classic_attempts < config_.num_dcs) {
+      // Our epoch view was stale; retry immediately at the hinted epoch.
+      if (op->failover_event != kInvalidEventId) {
+        sim_->Cancel(op->failover_event);
+        op->failover_event = kInvalidEventId;
+      }
+      if (group_epoch_[group] <= attempt_epoch) {
+        group_epoch_[group] = attempt_epoch + 1;
+      }
+      op->classic_epoch = group_epoch_[group];
+      StartClassic(*state, *op);
+    } else {
+      if (op->failover_event != kInvalidEventId) {
+        sim_->Cancel(op->failover_event);
+        op->failover_event = kInvalidEventId;
+      }
+      op->classic_inflight = false;
+      OnOptionDecided(*state, *op, /*chosen=*/false, /*via_classic=*/true);
+    }
   }
   MaybeGc(txn);
+}
+
+void Client::OnClassicFailover(TxnId txn, Key key, int attempt_epoch) {
+  TxnState* state = Find(txn);
+  if (state == nullptr || state->done) return;
+  OptionProgress* op = FindOption(*state, key);
+  if (op == nullptr || op->decided || !op->classic_inflight) return;
+  if (op->classic_epoch != attempt_epoch) return;  // superseded attempt
+  op->failover_event = kInvalidEventId;
+  if (op->classic_attempts >= config_.num_dcs) {
+    // Every DC has had a turn; let the transaction timeout decide.
+    return;
+  }
+  ++failovers_;
+  size_t group = static_cast<size_t>(config_.MasterOf(key));
+  if (group_epoch_[group] <= attempt_epoch) {
+    group_epoch_[group] = attempt_epoch + 1;
+  }
+  op->classic_epoch = group_epoch_[group];
+  StartClassic(*state, *op);
 }
 
 void Client::OnOptionDecided(TxnState& state, OptionProgress& op, bool chosen,
@@ -396,6 +502,15 @@ void Client::SetGlobalVoteListener(
 void Client::SetGlobalOptionListener(
     std::function<void(Key, bool, bool)> listener) {
   global_option_listener_ = std::move(listener);
+}
+
+void Client::SetGlobalSendListener(std::function<void(DcId)> listener) {
+  global_send_listener_ = std::move(listener);
+}
+
+void Client::SetGlobalClassicListener(
+    std::function<void(DcId, bool, Duration)> listener) {
+  global_classic_listener_ = std::move(listener);
 }
 
 }  // namespace planet

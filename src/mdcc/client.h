@@ -62,6 +62,11 @@ struct OptionProgress {
   bool via_classic = false;
   bool classic_inflight = false;
   SimTime proposed_at = 0;
+  /// Mastership epoch of the latest classic attempt and how many attempts
+  /// were made (failover retries bump both).
+  int classic_epoch = 0;
+  int classic_attempts = 0;
+  EventId failover_event = kInvalidEventId;
 };
 
 /// Full coordinator-side view of a transaction (used by the PLANET layer
@@ -134,6 +139,22 @@ class Client : public Node {
   void SetGlobalOptionListener(
       std::function<void(Key key, bool chosen, bool via_classic)> listener);
 
+  /// Sees every protocol request this client sends, keyed by destination
+  /// DC (predictor feed: reachability probes).
+  void SetGlobalSendListener(std::function<void(DcId dst_dc)> listener);
+
+  /// Sees every classic-proposal reply with the master DC that answered
+  /// (predictor feed: reachability acks for masters that never fast-vote).
+  void SetGlobalClassicListener(
+      std::function<void(DcId master_dc, bool chosen, Duration rtt)> listener);
+
+  /// This coordinator's view of a key group's mastership epoch.
+  int group_epoch(int group) const {
+    return group_epoch_[static_cast<size_t>(group)];
+  }
+
+  uint64_t failovers() const { return failovers_; }
+
   const MdccConfig& config() const { return config_; }
   Replica* local_replica() const { return replicas_[static_cast<size_t>(dc_)]; }
 
@@ -163,7 +184,12 @@ class Client : public Node {
   void ProposeFast(TxnState& state);
   void StartClassic(TxnState& state, OptionProgress& op);
   void OnVoteEvent(const VoteEvent& event);
-  void OnClassicResult(TxnId txn, Key key, bool chosen, Duration rtt);
+  void OnClassicResult(TxnId txn, Key key, int attempt_epoch, DcId master_dc,
+                       ClassicReply result, Duration rtt);
+  /// Fires when a classic attempt got no reply within
+  /// master_failover_timeout: bumps the group epoch and re-proposes to the
+  /// next epoch's master.
+  void OnClassicFailover(TxnId txn, Key key, int attempt_epoch);
   void OnOptionDecided(TxnState& state, OptionProgress& op, bool chosen,
                        bool via_classic);
   void OnTimeout(TxnId txn);
@@ -176,11 +202,18 @@ class Client : public Node {
   std::unordered_map<TxnId, TxnState> txns_;
   std::function<void(const VoteEvent&)> global_vote_listener_;
   std::function<void(Key, bool, bool)> global_option_listener_;
+  std::function<void(DcId)> global_send_listener_;
+  std::function<void(DcId, bool, Duration)> global_classic_listener_;
+  /// This coordinator's mastership-epoch view per key group. Advanced by
+  /// failover timeouts and by epoch hints in classic replies; never moves
+  /// backward, so a revived old master is simply not used again.
+  std::vector<int> group_epoch_;
   uint64_t next_local_txn_ = 1;
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;
   uint64_t timed_out_ = 0;
   uint64_t classic_fallbacks_ = 0;
+  uint64_t failovers_ = 0;
 };
 
 }  // namespace planet

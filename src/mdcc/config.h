@@ -35,6 +35,20 @@ struct MdccConfig {
   /// otherwise all keys are mastered in the given DC.
   int master_dc = -1;
 
+  /// Deadline for a read against the local replica. A crashed or partitioned
+  /// local replica otherwise hangs the transaction forever. 0 disables.
+  Duration read_timeout = Seconds(10);
+
+  /// Master failover: if a classic proposal gets no reply within this
+  /// timeout the coordinator bumps the key group's mastership epoch and
+  /// re-proposes to the next epoch's master. 0 disables failover (classic
+  /// proposals to a dead master are decided by txn_timeout instead).
+  /// Mastership is a serialization role, not a safety role: any epoch's
+  /// master still needs a classic quorum with full conflict checks, so a
+  /// stale master that has not yet heard of a newer epoch cannot violate
+  /// all-or-nothing visibility.
+  Duration master_failover_timeout = 0;
+
   /// CPU time a replica spends per protocol message (accept / read /
   /// visibility / master round). 0 models infinite capacity; > 0 makes
   /// replicas saturable, reproducing load-spike latency unpredictability
@@ -47,10 +61,17 @@ struct MdccConfig {
   /// Classic quorum size: majority.
   int ClassicQuorum() const { return num_dcs / 2 + 1; }
 
-  /// DC mastering the given key.
+  /// DC mastering the given key (epoch 0).
   DcId MasterOf(Key key) const {
     return master_dc >= 0 ? master_dc
                           : static_cast<DcId>(key % static_cast<Key>(num_dcs));
+  }
+
+  /// DC mastering the given key at a mastership epoch: epochs rotate the
+  /// role deterministically through the DCs, so every party computes the
+  /// same master for (key, epoch) with no coordination.
+  DcId MasterAt(Key key, int epoch) const {
+    return static_cast<DcId>((MasterOf(key) + epoch) % num_dcs);
   }
 };
 

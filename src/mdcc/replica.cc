@@ -1,12 +1,16 @@
 #include "mdcc/replica.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace planet {
 
 Replica::Replica(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
                  const MdccConfig& config)
-    : Node(sim, net, id, dc, rng), config_(config) {}
+    : Node(sim, net, id, dc, rng), config_(config) {
+  group_epoch_.assign(static_cast<size_t>(config_.num_dcs), 0);
+}
 
 void Replica::SetPeers(std::vector<Replica*> peers) {
   PLANET_CHECK(static_cast<int>(peers.size()) == config_.num_dcs);
@@ -23,7 +27,7 @@ void Replica::HandleFastAccept(const WriteOption& option, NodeId reply_to,
 }
 
 void Replica::HandleClassicPropose(const WriteOption& option, NodeId reply_to,
-                                   std::function<void(bool)> reply) {
+                                   std::function<void(ClassicReply)> reply) {
   Serve(config_.replica_service_cost,
         [this, option, reply_to, reply = std::move(reply)]() mutable {
           DoClassicPropose(option, reply_to, std::move(reply));
@@ -92,11 +96,21 @@ void Replica::DoFastAccept(const WriteOption& option, NodeId reply_to,
 }
 
 void Replica::DoClassicPropose(const WriteOption& option, NodeId reply_to,
-                               std::function<void(bool)> reply) {
+                               std::function<void(ClassicReply)> reply) {
   (void)reply_to;
   ++classic_proposals_;
-  PLANET_CHECK_MSG(config_.MasterOf(option.key) == dc_,
-                   "classic proposal routed to non-master dc " << dc_);
+
+  // Mastership-epoch check: the proposal must target this DC at its epoch,
+  // and its epoch must not have been superseded here. Epochs only move
+  // forward; a higher proposal epoch is adopted on sight.
+  size_t group = static_cast<size_t>(config_.MasterOf(option.key));
+  if (option.epoch > group_epoch_[group]) group_epoch_[group] = option.epoch;
+  if (option.epoch < group_epoch_[group] ||
+      config_.MasterAt(option.key, option.epoch) != dc_) {
+    ++stale_epoch_rejects_;
+    reply(ClassicReply{false, true, group_epoch_[group]});
+    return;
+  }
 
   // The master serializes: its own acceptance comes first and gives the
   // proposal its position. On a local *conflict* (another in-flight option
@@ -109,7 +123,7 @@ void Replica::DoClassicPropose(const WriteOption& option, NodeId reply_to,
     return;
   }
   if (!own.conflict || config_.classic_queue_timeout <= 0) {
-    reply(false);
+    reply(ClassicReply{false, false, group_epoch_[group]});
     return;
   }
   QueuedProposal queued;
@@ -128,7 +142,7 @@ void Replica::DoClassicPropose(const WriteOption& option, NodeId reply_to,
             auto failed = std::move(*qit);
             q.erase(qit);
             if (q.empty()) classic_queue_.erase(it);
-            failed.reply(false);
+            failed.reply(ClassicReply{false, false, 0});
             return;
           }
         }
@@ -150,15 +164,15 @@ void Replica::DrainClassicQueue(Key key) {
       StartClassicRound(head.option, std::move(head.reply));
       break;  // our own pending now blocks the rest of the queue
     }
-    head.reply(false);  // stale / decided: can never win
+    head.reply(ClassicReply{false, false, 0});  // stale / decided: can't win
   }
   if (q.empty()) classic_queue_.erase(key);
 }
 
 void Replica::StartClassicRound(const WriteOption& option,
-                                std::function<void(bool)> reply) {
+                                std::function<void(ClassicReply)> reply) {
   if (config_.ClassicQuorum() <= 1) {
-    reply(true);
+    reply(ClassicReply{true, false, option.epoch});
     return;
   }
 
@@ -195,10 +209,10 @@ void Replica::OnMasterVote(uint64_t round_id, VoteReply vote) {
     int outstanding = config_.num_dcs - round.accepts - round.rejects;
     if (round.accepts >= config_.ClassicQuorum()) {
       round.done = true;
-      round.reply(true);
+      round.reply(ClassicReply{true, false, round.option.epoch});
     } else if (round.accepts + outstanding < config_.ClassicQuorum()) {
       round.done = true;
-      round.reply(false);
+      round.reply(ClassicReply{false, false, round.option.epoch});
     }
   }
   // All votes in: the round can be garbage collected.
@@ -208,6 +222,19 @@ void Replica::OnMasterVote(uint64_t round_id, VoteReply vote) {
 void Replica::DoMasterAccept(const WriteOption& option, NodeId master,
                              std::function<void(VoteReply)> reply) {
   (void)master;
+  // Epoch bookkeeping mirrors the master side: adopt newer epochs, and
+  // refuse to co-sign a proposal whose epoch this acceptor knows to be
+  // superseded (the failed-over master is already serializing this group).
+  size_t group = static_cast<size_t>(config_.MasterOf(option.key));
+  if (option.epoch > group_epoch_[group]) group_epoch_[group] = option.epoch;
+  if (option.epoch < group_epoch_[group]) {
+    ++stale_epoch_rejects_;
+    VoteReply vote;
+    vote.accepted = false;
+    vote.stale = true;
+    reply(vote);
+    return;
+  }
   reply(TryAccept(option));
 }
 
@@ -299,7 +326,13 @@ void Replica::EnableRecovery(Duration period) {
 
 void Replica::ScheduleRecoveryScan() {
   recovery_scan_scheduled_ = true;
-  sim_->Schedule(recovery_period_, [this] { RecoveryScan(); });
+  // Scans are incarnation-guarded: a scan scheduled before a crash must not
+  // run (or spawn a second scan loop) in the next incarnation.
+  uint64_t inc = incarnation();
+  sim_->Schedule(recovery_period_, [this, inc] {
+    if (crashed() || incarnation() != inc) return;
+    RecoveryScan();
+  });
 }
 
 void Replica::RecoveryScan() {
@@ -309,19 +342,24 @@ void Replica::RecoveryScan() {
   const SimTime overdue = Now() - config_.txn_timeout;
   for (const auto& [txn, pending] : pending_since_) {
     if (pending.since > overdue) continue;
+    if (Now() < pending.next_resolve) continue;  // backing off
     if (resolve_inflight_.count(txn) > 0) continue;
     // Ask every peer for the decision. First "known" reply resolves; if all
-    // reply unknown, the query is retried at a later scan. Replies can be
-    // lost to partitions, so the query itself expires: after the horizon the
-    // in-flight entry is dropped and a later scan asks again.
+    // reply unknown, the query is retried with exponential backoff. Replies
+    // can be lost to partitions, so the query itself expires: after the
+    // horizon the in-flight entry is dropped (also a failed attempt) and a
+    // later scan asks again.
     resolve_inflight_[txn] = config_.num_dcs - 1;
-    sim_->Schedule(2 * config_.txn_timeout, [this, txn_id = txn] {
-      resolve_inflight_.erase(txn_id);
+    uint64_t inc = incarnation();
+    sim_->Schedule(2 * config_.txn_timeout, [this, inc, txn_id = txn] {
+      if (crashed() || incarnation() != inc) return;
+      if (resolve_inflight_.erase(txn_id) > 0) NoteResolveFailure(txn_id);
     });
     for (Replica* peer : peers_) {
       if (peer == this) continue;
       NodeId peer_id = peer->id();
       TxnId txn_copy = txn;
+      ++resolve_queries_sent_;
       net_->Send(id_, peer_id, [this, peer, peer_id, txn_copy] {
         peer->HandleResolveQuery(
             txn_copy, [this, peer_id, txn_copy](bool known, bool commit) {
@@ -333,6 +371,15 @@ void Replica::RecoveryScan() {
     }
   }
   ScheduleRecoveryScan();  // keep scanning while pendings exist
+}
+
+void Replica::NoteResolveFailure(TxnId txn) {
+  auto it = pending_since_.find(txn);
+  if (it == pending_since_.end()) return;
+  // Doubling per failed round, capped at 32 periods.
+  int shift = std::min(it->second.resolve_attempts, 5);
+  ++it->second.resolve_attempts;
+  it->second.next_resolve = Now() + (recovery_period_ << shift);
 }
 
 void Replica::HandleResolveQuery(TxnId txn,
@@ -355,8 +402,9 @@ void Replica::OnResolveReply(TxnId txn, bool known, bool commit) {
   }
   if (--it->second <= 0) {
     // Nobody knows (the coordinator may still be deciding, or was cut off
-    // from the whole cluster): retry at a later scan.
+    // from the whole cluster): retry at a later scan, backing off.
     resolve_inflight_.erase(it);
+    NoteResolveFailure(txn);
   }
 }
 
@@ -365,21 +413,56 @@ void Replica::RequestSyncAll() {
     if (peer == this) continue;
     NodeId peer_id = peer->id();
     net_->Send(id_, peer_id, [this, peer, peer_id] {
-      peer->HandleSyncRequest([this, peer_id](std::vector<SyncEntry> state) {
-        net_->Send(peer_id, id_, [this, state = std::move(state)] {
-          OnSyncState(state);
-        });
+      peer->HandleSyncRequest([this, peer_id](std::vector<SyncEntry> state,
+                                              std::vector<int> epochs) {
+        net_->Send(peer_id, id_,
+                   [this, state = std::move(state),
+                    epochs = std::move(epochs)] { OnSyncState(state, epochs); });
       });
     });
   }
 }
 
 void Replica::HandleSyncRequest(
-    std::function<void(std::vector<SyncEntry>)> reply) {
-  reply(store_.ExportState());
+    std::function<void(std::vector<SyncEntry>, std::vector<int>)> reply) {
+  reply(store_.ExportState(), group_epoch_);
 }
 
-void Replica::OnSyncState(const std::vector<SyncEntry>& state) {
+void Replica::Crash() {
+  PLANET_CHECK_MSG(!crashed(), "replica " << id_ << " already crashed");
+  BeginCrash();
+  // Everything below is volatile acceptor/master/learner state; only the
+  // store's WAL survives the power cycle.
+  for (auto& [key, q] : classic_queue_) {
+    for (QueuedProposal& qp : q) sim_->Cancel(qp.timeout_event);
+  }
+  classic_queue_.clear();
+  rounds_.clear();
+  deferred_.clear();
+  decided_.clear();
+  pending_since_.clear();
+  resolve_inflight_.clear();
+  recovery_scan_scheduled_ = false;
+  std::fill(group_epoch_.begin(), group_epoch_.end(), 0);
+}
+
+void Replica::Restart() {
+  PLANET_CHECK_MSG(crashed(), "replica " << id_ << " is not crashed");
+  EndCrash();
+  // Committed state is rebuilt from the WAL; pending options are gone (they
+  // were never durable — the resolution protocol at the peers covers any
+  // in-flight transaction that counted this acceptor's vote). Anti-entropy
+  // then pulls commits that happened while this replica was down, and the
+  // sync replies carry the current mastership epochs.
+  store_.RecoverFromWal();
+  RequestSyncAll();
+}
+
+void Replica::OnSyncState(const std::vector<SyncEntry>& state,
+                          const std::vector<int>& epochs) {
+  for (size_t g = 0; g < epochs.size() && g < group_epoch_.size(); ++g) {
+    if (epochs[g] > group_epoch_[g]) group_epoch_[g] = epochs[g];
+  }
   for (const SyncEntry& entry : state) {
     if (!store_.AdoptRecord(entry)) continue;
     ++sync_records_adopted_;

@@ -34,6 +34,17 @@ struct VoteReply {
   bool conflict = false;  ///< pending option of another transaction
 };
 
+/// Reply to a classic proposal.
+struct ClassicReply {
+  bool chosen = false;
+  /// Rejected because the receiving DC is not the master of the option's
+  /// key at the proposal's epoch (stale-epoch or misrouted proposal).
+  bool wrong_master = false;
+  /// The replica's current epoch for the key's group, so the coordinator
+  /// can catch up without probing every DC.
+  int epoch_hint = 0;
+};
+
 class Replica : public Node {
  public:
   Replica(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
@@ -52,11 +63,13 @@ class Replica : public Node {
                         std::function<void(VoteReply)> reply);
 
   // -- Master (classic path) -------------------------------------------
-  /// Classic proposal: this replica must be the key's master. It serializes
-  /// the option (local check first), then gathers a classic quorum from its
-  /// peers. `reply(true)` means the option is chosen.
+  /// Classic proposal: this replica must be the master of the option's key
+  /// at the option's mastership epoch. It serializes the option (local
+  /// check first), then gathers a classic quorum from its peers.
+  /// `reply.chosen` means the option is chosen; a proposal carrying a stale
+  /// epoch (or routed to the wrong DC) is rejected with `wrong_master`.
   void HandleClassicPropose(const WriteOption& option, NodeId reply_to,
-                            std::function<void(bool chosen)> reply);
+                            std::function<void(ClassicReply)> reply);
 
   /// Peer-side accept of a master-forwarded option.
   void HandleMasterAccept(const WriteOption& option, NodeId master,
@@ -96,10 +109,24 @@ class Replica : public Node {
   /// Cluster::HealDc, and operators would trigger it the same way).
   void RequestSyncAll();
 
-  /// Peer side of anti-entropy: ships the committed state.
-  void HandleSyncRequest(std::function<void(std::vector<SyncEntry>)> reply);
+  /// Peer side of anti-entropy: ships the committed state plus this
+  /// replica's view of the mastership epochs (so a restarted replica does
+  /// not resurrect a superseded epoch).
+  void HandleSyncRequest(
+      std::function<void(std::vector<SyncEntry>, std::vector<int>)> reply);
 
   uint64_t sync_records_adopted() const { return sync_records_adopted_; }
+
+  // -- Crash / recovery --------------------------------------------------
+  /// Powers the replica off: volatile state (pending options, classic
+  /// rounds and queues, learned decisions, deferred chains, epochs) is
+  /// lost; the WAL survives. In-flight messages to/from this node are
+  /// dropped by the Network.
+  void Crash();
+
+  /// Powers the replica back on: replays the WAL to rebuild committed
+  /// state, then runs RequestSyncAll to catch up on commits it missed.
+  void Restart();
 
   /// Number of physical transitions waiting for earlier versions (tests).
   size_t DeferredCount() const;
@@ -107,12 +134,20 @@ class Replica : public Node {
   /// Experiment counters.
   uint64_t fast_accept_requests() const { return fast_accept_requests_; }
   uint64_t classic_proposals() const { return classic_proposals_; }
+  uint64_t stale_epoch_rejects() const { return stale_epoch_rejects_; }
+  uint64_t resolve_queries_sent() const { return resolve_queries_sent_; }
+
+  /// This replica's view of the mastership epoch of a key group (groups are
+  /// identified by the epoch-0 master DC).
+  int group_epoch(int group) const {
+    return group_epoch_[static_cast<size_t>(group)];
+  }
 
  private:
   struct ClassicRound {
     WriteOption option;
     NodeId reply_to = kInvalidNodeId;
-    std::function<void(bool)> reply;
+    std::function<void(ClassicReply)> reply;
     int accepts = 0;
     int rejects = 0;
     bool done = false;
@@ -126,7 +161,7 @@ class Replica : public Node {
   void DoFastAccept(const WriteOption& option, NodeId reply_to,
                     std::function<void(VoteReply)> reply);
   void DoClassicPropose(const WriteOption& option, NodeId reply_to,
-                        std::function<void(bool)> reply);
+                        std::function<void(ClassicReply)> reply);
   void DoMasterAccept(const WriteOption& option, NodeId master,
                       std::function<void(VoteReply)> reply);
   void DoVisibility(TxnId txn, bool commit,
@@ -140,7 +175,7 @@ class Replica : public Node {
   /// Runs the quorum phase of a classic proposal this master has already
   /// accepted locally.
   void StartClassicRound(const WriteOption& option,
-                         std::function<void(bool)> reply);
+                         std::function<void(ClassicReply)> reply);
 
   /// Retries queued classic proposals for `key` after its pending state
   /// changed (visibility processed).
@@ -156,7 +191,7 @@ class Replica : public Node {
   struct QueuedProposal {
     uint64_t qid = 0;
     WriteOption option;
-    std::function<void(bool)> reply;
+    std::function<void(ClassicReply)> reply;
     EventId timeout_event = kInvalidEventId;
   };
 
@@ -184,12 +219,20 @@ class Replica : public Node {
   struct PendingTxn {
     SimTime since = 0;
     std::vector<WriteOption> options;
+    /// Capped exponential backoff for resolve queries: a decision unknown
+    /// to every reachable peer (long partition) must not generate a
+    /// fixed-rate query storm.
+    int resolve_attempts = 0;
+    SimTime next_resolve = 0;
   };
   void ScheduleRecoveryScan();
   void RecoveryScan();
   void OnResolveReply(TxnId txn, bool known, bool commit);
+  /// Records a failed resolve round for backoff purposes.
+  void NoteResolveFailure(TxnId txn);
   void ResolveLocally(TxnId txn, bool commit);
-  void OnSyncState(const std::vector<SyncEntry>& state);
+  void OnSyncState(const std::vector<SyncEntry>& state,
+                   const std::vector<int>& epochs);
 
   Duration recovery_period_ = 0;
   bool recovery_scan_scheduled_ = false;
@@ -198,9 +241,15 @@ class Replica : public Node {
   std::unordered_map<TxnId, int> resolve_inflight_;
   uint64_t recovered_options_ = 0;
   uint64_t sync_records_adopted_ = 0;
+  uint64_t resolve_queries_sent_ = 0;
+
+  /// Highest mastership epoch seen per key group. Volatile: a restarted
+  /// replica re-learns epochs from sync replies and incoming proposals.
+  std::vector<int> group_epoch_;
 
   uint64_t fast_accept_requests_ = 0;
   uint64_t classic_proposals_ = 0;
+  uint64_t stale_epoch_rejects_ = 0;
 };
 
 }  // namespace planet

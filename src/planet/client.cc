@@ -31,7 +31,8 @@ PlanetContext::PlanetContext(const MdccConfig& mdcc, const PlanetConfig& planet)
       planet_(planet),
       latency_(mdcc.num_dcs, planet.latency_prior_hint),
       conflict_(planet.conflict_alpha, planet.conflict_max_tracked_keys),
-      estimator_(mdcc_, planet_, &latency_, &conflict_) {
+      reach_(mdcc.num_dcs, planet.dead_after),
+      estimator_(mdcc_, planet_, &latency_, &conflict_, &reach_) {
   stats_.calibration = CalibrationTracker(planet.calibration_buckets);
 }
 
@@ -39,14 +40,25 @@ PlanetClient::PlanetClient(Client* db, PlanetContext* ctx)
     : db_(db), ctx_(ctx) {
   PLANET_CHECK(db != nullptr && ctx != nullptr);
   // Every vote this coordinator observes (including late ones) feeds the
-  // shared latency and conflict models.
+  // shared latency and conflict models; every reply is also a reachability
+  // ack, and every send a probe (passive failure detection, no new traffic).
   db_->SetGlobalVoteListener([this](const VoteEvent& event) {
     ctx_->latency_model().RecordRtt(db_->dc(), event.replica_dc, event.rtt);
     ctx_->conflict_model().RecordVote(event.key, event.accepted);
+    ctx_->reachability().RecordAck(event.replica_dc, db_->Now());
   });
   db_->SetGlobalOptionListener([this](Key key, bool chosen, bool via_classic) {
     (void)via_classic;
     ctx_->conflict_model().RecordOptionOutcome(key, chosen);
+  });
+  db_->SetGlobalSendListener([this](DcId dst) {
+    ctx_->reachability().RecordProbe(dst, db_->Now());
+  });
+  db_->SetGlobalClassicListener([this](DcId master_dc, bool chosen,
+                                       Duration rtt) {
+    (void)chosen;
+    (void)rtt;
+    ctx_->reachability().RecordAck(master_dc, db_->Now());
   });
 }
 
@@ -115,14 +127,15 @@ void PlanetClient::Commit(TxnId txn,
 
   const PlanetConfig& pc = ctx_->planet_config();
   std::vector<WriteOption> writes = db_->PendingWrites(txn);
-  state->prior_likelihood = ctx_->estimator().EstimateFresh(writes);
+  state->prior_likelihood =
+      ctx_->estimator().EstimateFresh(writes, db_->Now());
   // Latency-aware admission folds the learned RTT tails into the admission
   // prior; calibration keeps using the pure conflict prior (it predicts
   // "commits eventually", which is what the outcome label measures).
   double admission_prior =
       pc.admission_sla > 0
           ? ctx_->estimator().EstimateFreshBy(writes, pc.admission_sla,
-                                              db_->dc())
+                                              db_->dc(), db_->Now())
           : state->prior_likelihood;
   state->options_total = static_cast<int>(writes.size());
   state->votes_total =
@@ -172,6 +185,13 @@ void PlanetClient::Commit(TxnId txn,
         state->timeout, [this, txn] { OnDeadline(txn); });
   }
   db_->Commit(txn, [this, txn](Status status) { ResolveFinal(txn, status); });
+}
+
+void PlanetClient::AbortEarly(TxnId txn) {
+  TxnState* state = Find(txn);
+  if (state == nullptr || state->stage != PlanetStage::kExecuting) return;
+  db_->AbortEarly(txn);
+  txns_.erase(txn);
 }
 
 void PlanetClient::OnDeadline(TxnId txn) {
@@ -296,7 +316,8 @@ double PlanetClient::Likelihood(TxnId txn) const {
     case PlanetStage::kRejected:
       return 0.0;
     case PlanetStage::kExecuting:
-      return ctx_->estimator().EstimateFresh(db_->PendingWrites(txn));
+      return ctx_->estimator().EstimateFresh(db_->PendingWrites(txn),
+                                             db_->Now());
     default:
       break;
   }
@@ -307,7 +328,7 @@ double PlanetClient::Likelihood(TxnId txn) const {
     // admission check and the fast-accept broadcast).
     return state->prior_likelihood;
   }
-  return ctx_->estimator().Estimate(*view);
+  return ctx_->estimator().Estimate(*view, db_->Now());
 }
 
 double PlanetClient::LikelihoodBy(TxnId txn, Duration budget) const {

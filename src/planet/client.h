@@ -63,6 +63,8 @@ class PlanetContext {
 
   LatencyModel& latency_model() { return latency_; }
   ConflictModel& conflict_model() { return conflict_; }
+  ReachabilityTracker& reachability() { return reach_; }
+  const ReachabilityTracker& reachability() const { return reach_; }
   const CommitLikelihoodEstimator& estimator() const { return estimator_; }
   PlanetStats& stats() { return stats_; }
   const PlanetStats& stats() const { return stats_; }
@@ -72,6 +74,7 @@ class PlanetContext {
   PlanetConfig planet_;
   LatencyModel latency_;
   ConflictModel conflict_;
+  ReachabilityTracker reach_;
   CommitLikelihoodEstimator estimator_;
   PlanetStats stats_;
 };
@@ -102,6 +105,9 @@ class PlanetClient {
   void SetTimeout(TxnId txn, Duration timeout,
                   std::function<void(PlanetTransaction&)> cb);
   void Commit(TxnId txn, std::function<void(const Outcome&)> user_cb);
+  /// Drops a not-yet-submitted transaction (e.g. after a read timeout
+  /// against a crashed replica). No-op once submitted.
+  void AbortEarly(TxnId txn);
   double Likelihood(TxnId txn) const;
   double LikelihoodBy(TxnId txn, Duration budget) const;
   void Speculate(TxnId txn);

@@ -70,6 +70,42 @@ Duration LatencyModel::RttPercentile(DcId from, DcId to, double pct) const {
   return h.Percentile(pct);
 }
 
+// ------------------------------------------------------------ reachability
+
+ReachabilityTracker::ReachabilityTracker(int num_dcs, Duration dead_after)
+    : num_dcs_(num_dcs),
+      dead_after_(dead_after),
+      first_unanswered_(static_cast<size_t>(num_dcs), -1) {
+  PLANET_CHECK(num_dcs >= 1);
+}
+
+void ReachabilityTracker::RecordProbe(DcId dc, SimTime now) {
+  PLANET_CHECK(dc >= 0 && dc < num_dcs_);
+  SimTime& first = first_unanswered_[static_cast<size_t>(dc)];
+  if (first < 0) first = now;
+}
+
+void ReachabilityTracker::RecordAck(DcId dc, SimTime now) {
+  PLANET_CHECK(dc >= 0 && dc < num_dcs_);
+  (void)now;
+  first_unanswered_[static_cast<size_t>(dc)] = -1;
+}
+
+bool ReachabilityTracker::IsDead(DcId dc, SimTime now) const {
+  PLANET_CHECK(dc >= 0 && dc < num_dcs_);
+  if (dead_after_ <= 0) return false;
+  SimTime first = first_unanswered_[static_cast<size_t>(dc)];
+  return first >= 0 && now - first > dead_after_;
+}
+
+int ReachabilityTracker::AliveCount(SimTime now) const {
+  int alive = 0;
+  for (DcId d = 0; d < num_dcs_; ++d) {
+    if (!IsDead(d, now)) ++alive;
+  }
+  return alive;
+}
+
 // ---------------------------------------------------------------- conflict
 
 ConflictModel::ConflictModel(double alpha, size_t max_tracked_keys)
@@ -150,8 +186,13 @@ double BinomialTail(int n, double p, int k) {
 
 CommitLikelihoodEstimator::CommitLikelihoodEstimator(
     const MdccConfig& mdcc, const PlanetConfig& planet,
-    const LatencyModel* latency, const ConflictModel* conflict)
-    : mdcc_(mdcc), planet_(planet), latency_(latency), conflict_(conflict) {
+    const LatencyModel* latency, const ConflictModel* conflict,
+    const ReachabilityTracker* reach)
+    : mdcc_(mdcc),
+      planet_(planet),
+      latency_(latency),
+      conflict_(conflict),
+      reach_(reach) {
   PLANET_CHECK(latency != nullptr && conflict != nullptr);
 }
 
@@ -222,9 +263,27 @@ double CommitLikelihoodEstimator::OptionLikelihood(const OptionProgress& op,
   double q_eff = CachedAcceptProb(op.option.key, cache);
   double c = 1.0 - q_eff;
 
+  // Failure detection: acceptors silent past dead_after cannot vote. Their
+  // outstanding votes are written off, and the classic rescue disappears
+  // when no quorum of live acceptors remains — or when the master is dead
+  // and failover is disabled.
+  int n = mdcc_.num_dcs;
+  const bool detect = reach_ != nullptr && now > 0;
+  int dead_total = 0;
+  bool master_dead = false;
+  if (detect) {
+    for (DcId d = 0; d < n; ++d) {
+      if (reach_->IsDead(d, now)) ++dead_total;
+    }
+    master_dead = reach_->IsDead(mdcc_.MasterOf(op.option.key), now);
+  }
+  const bool classic_possible =
+      n - dead_total >= mdcc_.ClassicQuorum() &&
+      (!master_dead || mdcc_.master_failover_timeout > 0);
+
   if (op.classic_inflight) {
-    double rescue = ClassicRescue(c);
-    if (with_latency) {
+    double rescue = classic_possible ? ClassicRescue(c) : 0.0;
+    if (with_latency && rescue > 0) {
       // Classic adds a client->master->peers->master->client exchange; use
       // the master RTT as the dominant term.
       DcId master = mdcc_.MasterOf(op.option.key);
@@ -235,8 +294,15 @@ double CommitLikelihoodEstimator::OptionLikelihood(const OptionProgress& op,
     return rescue;
   }
 
-  int n = mdcc_.num_dcs;
   int outstanding = n - op.accepts - op.rejects;
+  if (detect && dead_total > 0 &&
+      op.votes.size() == static_cast<size_t>(n)) {
+    for (DcId d = 0; d < n; ++d) {
+      if (op.votes[static_cast<size_t>(d)] == -1 && reach_->IsDead(d, now)) {
+        --outstanding;
+      }
+    }
+  }
   int needed = mdcc_.FastQuorum() - op.accepts;
   double p_vote = q_eff;
 
@@ -255,6 +321,7 @@ double CommitLikelihoodEstimator::OptionLikelihood(const OptionProgress& op,
     Duration elapsed = now - op.proposed_at;
     for (DcId d = 0; d < n; ++d) {
       if (op.votes[static_cast<size_t>(d)] != -1) continue;
+      if (detect && reach_->IsDead(d, now)) continue;
       in_time_sum +=
           latency_->ProbResponseWithinGiven(client_dc, d, elapsed, budget);
       ++counted;
@@ -265,8 +332,9 @@ double CommitLikelihoodEstimator::OptionLikelihood(const OptionProgress& op,
     p_fast = BinomialTail(outstanding, p_vote, needed);
   }
 
-  double rescue = planet_.classic_damp * ClassicRescue(c);
-  if (with_latency) {
+  double rescue = classic_possible ? planet_.classic_damp * ClassicRescue(c)
+                                   : 0.0;
+  if (with_latency && rescue > 0) {
     // The rescue path spends at least another master round trip.
     DcId master = mdcc_.MasterOf(op.option.key);
     Duration classic_rtt = latency_->RttPercentile(client_dc, master, 50);
@@ -275,13 +343,14 @@ double CommitLikelihoodEstimator::OptionLikelihood(const OptionProgress& op,
   return std::clamp(p_fast + (1.0 - p_fast) * rescue, 0.0, 1.0);
 }
 
-double CommitLikelihoodEstimator::Estimate(const TxnView& view) const {
+double CommitLikelihoodEstimator::Estimate(const TxnView& view,
+                                           SimTime now) const {
   if (view.phase == TxnPhase::kCommitted) return 1.0;
   if (view.phase == TxnPhase::kAborted) return 0.0;
   double likelihood = 1.0;
   AcceptProbCache cache;
   for (const OptionProgress& op : view.options) {
-    likelihood *= OptionLikelihood(op, /*with_latency=*/false, 0, 0, 0,
+    likelihood *= OptionLikelihood(op, /*with_latency=*/false, now, 0, 0,
                                    &cache);
   }
   return likelihood;
@@ -302,7 +371,31 @@ double CommitLikelihoodEstimator::EstimateBy(const TxnView& view, SimTime now,
 }
 
 double CommitLikelihoodEstimator::EstimateFresh(
-    const std::vector<WriteOption>& writes) const {
+    const std::vector<WriteOption>& writes, SimTime now) const {
+  bool any_dead = false;
+  if (reach_ != nullptr && now > 0) {
+    for (DcId d = 0; d < mdcc_.num_dcs; ++d) {
+      if (reach_->IsDead(d, now)) {
+        any_dead = true;
+        break;
+      }
+    }
+  }
+  if (any_dead) {
+    // Dead-DC-aware prior: evaluate each write as a zero-vote in-flight
+    // option so the reachability terms apply.
+    double likelihood = 1.0;
+    AcceptProbCache cache;
+    for (const WriteOption& w : writes) {
+      OptionProgress op;
+      op.option = w;
+      op.votes.assign(static_cast<size_t>(mdcc_.num_dcs), -1);
+      op.proposed_at = now;
+      likelihood *= OptionLikelihood(op, /*with_latency=*/false, now, 0, 0,
+                                     &cache);
+    }
+    return likelihood;
+  }
   double likelihood = 1.0;
   for (const WriteOption& w : writes) {
     likelihood *= FreshOptionLikelihood(w.key);
@@ -311,8 +404,8 @@ double CommitLikelihoodEstimator::EstimateFresh(
 }
 
 double CommitLikelihoodEstimator::EstimateFreshBy(
-    const std::vector<WriteOption>& writes, Duration sla,
-    DcId client_dc) const {
+    const std::vector<WriteOption>& writes, Duration sla, DcId client_dc,
+    SimTime now) const {
   // Admission must never shed load on a cold model: only links with learned
   // data contribute a latency constraint. Warmth depends on client_dc only,
   // not on the individual writes, so scan the links once per call.
@@ -323,7 +416,7 @@ double CommitLikelihoodEstimator::EstimateFreshBy(
       break;
     }
   }
-  if (!warm) return EstimateFresh(writes);
+  if (!warm) return EstimateFresh(writes, now);
 
   double likelihood = 1.0;
   AcceptProbCache cache;
@@ -333,8 +426,8 @@ double CommitLikelihoodEstimator::EstimateFreshBy(
     OptionProgress op;
     op.option = w;
     op.votes.assign(static_cast<size_t>(mdcc_.num_dcs), -1);
-    op.proposed_at = 0;
-    likelihood *= OptionLikelihood(op, /*with_latency=*/true, /*now=*/0, sla,
+    op.proposed_at = now;
+    likelihood *= OptionLikelihood(op, /*with_latency=*/true, now, sla,
                                    client_dc, &cache);
   }
   return likelihood;

@@ -66,6 +66,40 @@ struct PlanetConfig {
 
   /// Number of buckets of the built-in calibration tracker.
   int calibration_buckets = 10;
+
+  /// Failure detection: a DC whose oldest unanswered probe is older than
+  /// this is treated as dead by the estimator — its outstanding votes are
+  /// dropped from every quorum term. 0 disables failure detection.
+  Duration dead_after = 0;
+};
+
+/// Passive failure detector fed by the coordinator's own traffic: every
+/// message sent toward a DC is a probe, every reply (vote, classic result)
+/// is an ack. A DC is dead once its oldest unanswered probe is older than
+/// `dead_after`; it revives on the next ack. No extra messages are sent, so
+/// the simulation schedule is unchanged whether or not detection is enabled.
+class ReachabilityTracker {
+ public:
+  ReachabilityTracker(int num_dcs, Duration dead_after);
+
+  /// A message left for `dc` at `now` (only the oldest unanswered one
+  /// matters).
+  void RecordProbe(DcId dc, SimTime now);
+
+  /// Any reply from `dc` observed at `now`.
+  void RecordAck(DcId dc, SimTime now);
+
+  /// True iff detection is on and `dc` has been silent past the deadline.
+  bool IsDead(DcId dc, SimTime now) const;
+
+  int AliveCount(SimTime now) const;
+  Duration dead_after() const { return dead_after_; }
+
+ private:
+  int num_dcs_;
+  Duration dead_after_;
+  /// Send time of the oldest probe not yet answered; -1 = none outstanding.
+  std::vector<SimTime> first_unanswered_;
 };
 
 /// Per-DC-pair round-trip model learned online from coordinator-observed
@@ -164,12 +198,17 @@ double BinomialTail(int n, double p, int k);
 /// Maps live transaction progress to commit likelihood.
 class CommitLikelihoodEstimator {
  public:
+  /// `reach` (optional) adds dead-DC awareness: outstanding votes from dead
+  /// acceptors are written off instead of counted as still-possible.
   CommitLikelihoodEstimator(const MdccConfig& mdcc, const PlanetConfig& planet,
                             const LatencyModel* latency,
-                            const ConflictModel* conflict);
+                            const ConflictModel* conflict,
+                            const ReachabilityTracker* reach = nullptr);
 
   /// P(this transaction eventually commits), from the coordinator view.
-  double Estimate(const TxnView& view) const;
+  /// `now` (when nonzero, with a tracker installed) enables the dead-DC
+  /// terms; the default keeps reachability-blind call sites valid.
+  double Estimate(const TxnView& view, SimTime now = 0) const;
 
   /// P(commit and all needed votes arrive within `budget` from `now`);
   /// `client_dc` locates the coordinator for the latency model.
@@ -177,14 +216,16 @@ class CommitLikelihoodEstimator {
                     DcId client_dc) const;
 
   /// Prior likelihood of a not-yet-proposed write set (admission control):
-  /// every option starts with zero votes.
-  double EstimateFresh(const std::vector<WriteOption>& writes) const;
+  /// every option starts with zero votes. Nonzero `now` adds the dead-DC
+  /// terms (a dead fast-quorum makes the prior drop sharply).
+  double EstimateFresh(const std::vector<WriteOption>& writes,
+                       SimTime now = 0) const;
 
   /// P(fresh write set commits AND the decision arrives within `sla`),
   /// combining the conflict prior with the learned RTT tails from
   /// `client_dc` (latency-aware admission).
   double EstimateFreshBy(const std::vector<WriteOption>& writes, Duration sla,
-                         DcId client_dc) const;
+                         DcId client_dc, SimTime now = 0) const;
 
   /// Probability a single fresh option is eventually chosen. Driven by the
   /// option-level outcome model (self-calibrating); falls back to the
@@ -224,6 +265,7 @@ class CommitLikelihoodEstimator {
   PlanetConfig planet_;
   const LatencyModel* latency_;
   const ConflictModel* conflict_;
+  const ReachabilityTracker* reach_;
 };
 
 /// Reliability-diagram tracker: buckets predictions and records outcomes so

@@ -17,6 +17,19 @@ void Network::RegisterNode(NodeId node, DcId dc) {
   PLANET_CHECK_MSG(node == static_cast<NodeId>(node_dc_.size()),
                    "nodes must be registered densely; got " << node);
   node_dc_.push_back(dc);
+  node_up_.push_back(1);
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  PLANET_CHECK_MSG(node >= 0 && node < static_cast<NodeId>(node_up_.size()),
+                   "unregistered node " << node);
+  node_up_[static_cast<size_t>(node)] = up ? 1 : 0;
+}
+
+bool Network::NodeUp(NodeId node) const {
+  PLANET_CHECK_MSG(node >= 0 && node < static_cast<NodeId>(node_up_.size()),
+                   "unregistered node " << node);
+  return node_up_[static_cast<size_t>(node)] != 0;
 }
 
 DcId Network::DcOf(NodeId node) const {
@@ -78,6 +91,10 @@ void Network::Send(NodeId src, NodeId dst, std::function<void()> deliver) {
   DcId dst_dc = DcOf(dst);
   ++messages_sent_;
 
+  if (!NodeUp(src) || !NodeUp(dst)) {
+    ++messages_dropped_;
+    return;
+  }
   auto part = partitioned_.find({src_dc, dst_dc});
   if (part != partitioned_.end() && part->second) {
     ++messages_dropped_;
@@ -95,7 +112,15 @@ void Network::Send(NodeId src, NodeId dst, std::function<void()> deliver) {
       ++messages_retransmitted_;
     }
   }
-  sim_->Schedule(delay, std::move(deliver));
+  // Deliveries re-check liveness: a message in flight toward a node that
+  // crashes before it lands is lost with the node's receive buffers.
+  sim_->Schedule(delay, [this, dst, deliver = std::move(deliver)] {
+    if (!NodeUp(dst)) {
+      ++messages_dropped_;
+      return;
+    }
+    deliver();
+  });
 }
 
 }  // namespace planet

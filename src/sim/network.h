@@ -63,6 +63,12 @@ class Network {
   /// Starts/stops a partition between two DCs (messages silently dropped).
   void SetPartitioned(DcId a, DcId b, bool partitioned);
 
+  /// Marks a node as powered off (crashed) or back up. Messages to or from
+  /// a down node are dropped; messages already in flight toward it are
+  /// discarded at delivery time, as if the NIC went dark mid-transfer.
+  void SetNodeUp(NodeId node, bool up);
+  bool NodeUp(NodeId node) const;
+
   /// Injects degradation (latency spike) on every link touching `dc`.
   void SetDegradation(DcId dc, const DcDegradation& degradation);
   void ClearDegradation(DcId dc);
@@ -86,6 +92,7 @@ class Network {
   Simulator* sim_;
   Rng rng_;
   std::vector<DcId> node_dc_;
+  std::vector<char> node_up_;
   std::map<std::pair<DcId, DcId>, LinkParams> links_;
   std::map<std::pair<DcId, DcId>, bool> partitioned_;
   std::map<DcId, DcDegradation> degradation_;

@@ -32,6 +32,13 @@ class Node {
   /// Cumulative CPU time consumed through Serve().
   Duration busy_time() const { return busy_time_; }
 
+  /// True while the node is powered off (between BeginCrash and EndCrash).
+  bool crashed() const { return crashed_; }
+
+  /// Bumped on every crash; closures scheduled before a crash check it so
+  /// pre-crash work never executes against post-restart state.
+  uint64_t incarnation() const { return incarnation_; }
+
   /// Fraction of simulated time this node's CPU was busy.
   double Utilization() const {
     return Now() == 0 ? 0.0
@@ -43,7 +50,10 @@ class Node {
   /// `cost` of CPU time — the model for per-message processing cost, which
   /// makes nodes saturable (queueing delay explodes as the arrival rate
   /// approaches 1/cost). cost <= 0 runs `fn` inline (infinite capacity).
+  /// Work queued before a crash is silently discarded: it carries the
+  /// incarnation it was enqueued under.
   void Serve(Duration cost, std::function<void()> fn) {
+    if (crashed_) return;
     if (cost <= 0) {
       fn();
       return;
@@ -51,11 +61,33 @@ class Node {
     SimTime start = std::max(Now(), busy_until_);
     busy_until_ = start + cost;
     busy_time_ += cost;
-    sim_->ScheduleAt(busy_until_, std::move(fn));
+    uint64_t inc = incarnation_;
+    sim_->ScheduleAt(busy_until_, [this, inc, fn = std::move(fn)] {
+      if (crashed_ || incarnation_ != inc) return;
+      fn();
+    });
+  }
+
+  /// Powers the node off: deliveries stop (the Network drops them), queued
+  /// Serve work is invalidated, and the service queue is reset. Subclasses
+  /// clear their own volatile state on top of this.
+  void BeginCrash() {
+    crashed_ = true;
+    ++incarnation_;
+    busy_until_ = 0;
+    net_->SetNodeUp(id_, false);
+  }
+
+  /// Powers the node back on with empty queues.
+  void EndCrash() {
+    crashed_ = false;
+    net_->SetNodeUp(id_, true);
   }
 
   SimTime busy_until_ = 0;
   Duration busy_time_ = 0;
+  bool crashed_ = false;
+  uint64_t incarnation_ = 0;
   Simulator* sim_;
   Network* net_;
   NodeId id_;

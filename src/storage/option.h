@@ -30,6 +30,7 @@ struct WriteOption {
   Version read_version = 0;  ///< version observed by the transaction's read
   Value new_value = 0;       ///< physical payload
   Value delta = 0;           ///< commutative payload
+  int epoch = 0;             ///< mastership epoch (classic-path routing only)
 
   std::string ToString() const;
 };

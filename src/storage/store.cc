@@ -36,6 +36,9 @@ void Store::SeedValue(Key key, Value value) {
   Record& rec = FindOrCreate(key);
   ++rec.version;
   rec.value = value;
+  // Seeded state is durable: without a WAL entry it would silently vanish
+  // on crash recovery.
+  wal_.push_back(WalEntry{kInvalidTxnId, key, rec.version, rec.value});
 }
 
 void Store::SetBounds(Key key, ValueBounds bounds) {
@@ -175,6 +178,33 @@ bool Store::AdoptRecord(const SyncEntry& entry) {
   rec.deltas_applied = entry.deltas_applied;
   wal_.push_back(WalEntry{kInvalidTxnId, entry.key, rec.version, rec.value});
   return true;
+}
+
+void Store::RecoverFromWal() {
+  // Bounds are catalog metadata installed at cluster build time; carry them
+  // across the wipe.
+  std::unordered_map<Key, ValueBounds> bounds;
+  for (const auto& [key, rec] : records_) {
+    if (rec.has_bounds) bounds[key] = rec.bounds;
+  }
+  records_.clear();
+  for (const WalEntry& entry : wal_) {
+    Record& rec = records_[entry.key];
+    if (entry.new_version == rec.version) {
+      // Same-version transitions are committed commutative deltas (or
+      // same-version adoptions, which replay equivalently).
+      rec.value = entry.new_value;
+      ++rec.deltas_applied;
+    } else {
+      rec.version = entry.new_version;
+      rec.value = entry.new_value;
+    }
+  }
+  for (const auto& [key, b] : bounds) {
+    Record& rec = records_[key];
+    rec.bounds = b;
+    rec.has_bounds = true;
+  }
 }
 
 std::map<Key, RecordView> Store::Snapshot() const {

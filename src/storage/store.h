@@ -107,6 +107,14 @@ class Store {
   /// Returns true if the local state changed. Pending options are untouched.
   bool AdoptRecord(const SyncEntry& entry);
 
+  /// Crash recovery: rebuilds committed state by replaying the WAL (the
+  /// only durable structure). Pending options are volatile acceptor state
+  /// and are discarded; demarcation bounds survive as catalog metadata.
+  /// Replayed delta counts can undercount for adopted records (the WAL does
+  /// not carry peer delta counts), which only makes anti-entropy adopt a
+  /// peer's state more eagerly — never less.
+  void RecoverFromWal();
+
   const std::vector<WalEntry>& wal() const { return wal_; }
 
   /// Counters for experiments.

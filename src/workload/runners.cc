@@ -33,6 +33,7 @@ struct InFlight {
   std::vector<Key> write_keys;
   std::unordered_map<Key, Value> values;
   int reads_remaining = 0;
+  bool failed = false;  ///< a read failed; the txn was abandoned
   SimTime begin = 0;
   Duration user_latency = 0;
   bool speculative = false;
@@ -122,8 +123,21 @@ TxnRunner MakePlanetRunner(PlanetClient* client, const WorkloadConfig& config,
     std::vector<Key> all_keys = write_keys;
     all_keys.insert(all_keys.end(), read_keys.begin(), read_keys.end());
     for (Key key : all_keys) {
-      txn.Read(key, [fly, key, txn, commit_if_ready](Status status, Value v) {
-        PLANET_CHECK(status.ok());
+      txn.Read(key, [client, sim, fly, key, txn,
+                     commit_if_ready](Status status, Value v) {
+        if (fly->failed) return;
+        if (!status.ok()) {
+          // Read timed out (e.g. the local replica is down): abandon the
+          // transaction and report it, once, as unavailable.
+          fly->failed = true;
+          client->AbortEarly(txn.id());
+          TxnResult result;
+          result.status = std::move(status);
+          result.latency = sim->Now() - fly->begin;
+          result.user_latency = result.latency;
+          fly->done(result);
+          return;
+        }
         fly->values[key] = v;
         --fly->reads_remaining;
         commit_if_ready(txn);
@@ -171,13 +185,25 @@ TxnRunner MakeMdccRunner(Client* client, const WorkloadConfig& config,
     std::vector<Key> all_keys = write_keys;
     all_keys.insert(all_keys.end(), read_keys.begin(), read_keys.end());
     for (Key key : all_keys) {
-      client->Read(txn, key,
-                   [fly, key, commit_if_ready](Status status, RecordView v) {
-                     PLANET_CHECK(status.ok());
-                     fly->values[key] = v.value;
-                     --fly->reads_remaining;
-                     commit_if_ready();
-                   });
+      client->Read(
+          txn, key,
+          [client, sim, fly, txn, key,
+           commit_if_ready](Status status, RecordView v) {
+            if (fly->failed) return;
+            if (!status.ok()) {
+              fly->failed = true;
+              client->AbortEarly(txn);
+              TxnResult result;
+              result.status = std::move(status);
+              result.latency = sim->Now() - fly->begin;
+              result.user_latency = result.latency;
+              fly->done(result);
+              return;
+            }
+            fly->values[key] = v.value;
+            --fly->reads_remaining;
+            commit_if_ready();
+          });
     }
   };
 }
@@ -218,13 +244,25 @@ TxnRunner MakeTpcRunner(TpcClient* client, const WorkloadConfig& config,
     std::vector<Key> all_keys = write_keys;
     all_keys.insert(all_keys.end(), read_keys.begin(), read_keys.end());
     for (Key key : all_keys) {
-      client->Read(txn, key,
-                   [fly, key, commit_if_ready](Status status, RecordView v) {
-                     PLANET_CHECK(status.ok());
-                     fly->values[key] = v.value;
-                     --fly->reads_remaining;
-                     commit_if_ready();
-                   });
+      client->Read(
+          txn, key,
+          [client, sim, fly, txn, key,
+           commit_if_ready](Status status, RecordView v) {
+            if (fly->failed) return;
+            if (!status.ok()) {
+              fly->failed = true;
+              client->AbortEarly(txn);
+              TxnResult result;
+              result.status = std::move(status);
+              result.latency = sim->Now() - fly->begin;
+              result.user_latency = result.latency;
+              fly->done(result);
+              return;
+            }
+            fly->values[key] = v.value;
+            --fly->reads_remaining;
+            commit_if_ready();
+          });
     }
   };
 }

@@ -1,0 +1,198 @@
+// Property tests: full cluster runs driven by seeded FaultSchedules.
+// Invariants checked under crash/restart faults: all-or-nothing (no
+// committed update is lost, no aborted update leaks), in-transaction
+// read-your-writes, byte-identical replica convergence after WAL replay
+// plus anti-entropy, and determinism of faulted runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+#include "workload/runners.h"
+
+namespace planet {
+namespace {
+
+ClusterOptions FaultedOptions(uint64_t seed) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.clients_per_dc = 2;
+  options.mdcc.txn_timeout = Seconds(2);
+  options.mdcc.read_timeout = Millis(500);
+  options.recovery_period = Seconds(1);
+  return options;
+}
+
+WorkloadConfig WriteHeavyWorkload() {
+  WorkloadConfig wl;
+  wl.num_keys = 200;
+  wl.reads_per_txn = 0;
+  wl.writes_per_txn = 2;
+  return wl;
+}
+
+/// Committed state equality, field by field (version AND value).
+bool SameSnapshot(Replica* a, Replica* b) {
+  auto sa = a->store().Snapshot();
+  auto sb = b->store().Snapshot();
+  if (sa.size() != sb.size()) return false;
+  auto ib = sb.begin();
+  for (auto ia = sa.begin(); ia != sa.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+    if (ia->second.version != ib->second.version) return false;
+    if (ia->second.value != ib->second.value) return false;
+  }
+  return true;
+}
+
+/// Runs a write-heavy closed-loop workload for `length` against `cluster`,
+/// with a final quiet-time anti-entropy round at `sync_at` from `sync_dc`.
+RunMetrics RunWorkload(Cluster* cluster, Duration length, Duration sync_at,
+                       DcId sync_dc) {
+  WorkloadConfig wl = WriteHeavyWorkload();
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster->num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster->sim(), cluster->ForkRng(100 + uint64_t(i)),
+        MakeMdccRunner(cluster->client(i), wl,
+                       cluster->ForkRng(200 + uint64_t(i))),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(length);
+    generators.push_back(std::move(gen));
+  }
+  cluster->sim().ScheduleAt(sync_at,
+                            [cluster, sync_dc] { cluster->replica(sync_dc)->RequestSyncAll(); });
+  cluster->Drain();
+  return metrics;
+}
+
+TEST(FaultInjection, AllOrNothingUnderCrashRestartSchedules) {
+  // Across several seeds and crash targets: every committed transaction's
+  // two updates land exactly once; nothing an aborted or unavailable
+  // transaction wrote survives. The sum audit catches both directions.
+  for (uint64_t seed : {81u, 82u, 83u}) {
+    DcId dc = DcId(1 + seed % 4);  // replica 0 stays up as the audit copy
+    ClusterOptions options = FaultedOptions(seed);
+    options.faults.CrashReplica(Seconds(5), dc).RestartReplica(Seconds(12), dc);
+    Cluster cluster(options);
+
+    RunMetrics metrics = RunWorkload(&cluster, Seconds(20), Seconds(25), dc);
+
+    EXPECT_GT(metrics.committed, 100u) << "seed " << seed;
+    EXPECT_TRUE(cluster.ReplicasConverged())
+        << "seed " << seed << " pending=" << cluster.TotalPending();
+    Value total = 0;
+    for (const auto& [key, view] : cluster.replica(0)->store().Snapshot()) {
+      total += view.value;
+    }
+    EXPECT_EQ(total, static_cast<Value>(metrics.committed * 2))
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultInjection, CrashRestartSyncConvergesByteIdentical) {
+  // After WAL replay + anti-entropy, the restarted replica's committed
+  // state matches every peer field-by-field, not just "converged".
+  ClusterOptions options = FaultedOptions(84);
+  options.faults.CrashReplica(Seconds(3), 2).RestartReplica(Seconds(8), 2);
+  Cluster cluster(options);
+
+  RunMetrics metrics = RunWorkload(&cluster, Seconds(12), Seconds(16), 2);
+
+  EXPECT_GT(metrics.committed, 50u);
+  EXPECT_TRUE(cluster.ReplicasConverged());
+  for (DcId dc = 1; dc < cluster.num_dcs(); ++dc) {
+    EXPECT_TRUE(SameSnapshot(cluster.replica(0), cluster.replica(dc)))
+        << "replica " << dc << " diverges from replica 0";
+  }
+  EXPECT_GT(cluster.replica(2)->store().wal().size(), 0u)
+      << "the restarted replica recommitted its recovered state to the WAL";
+}
+
+TEST(FaultInjection, FaultedRunsAreDeterministic) {
+  // Same seed + same schedule = identical metrics and identical bytes.
+  auto run = [](uint64_t seed) {
+    ClusterOptions options = FaultedOptions(seed);
+    options.faults.CrashReplica(Seconds(3), 2).RestartReplica(Seconds(8), 2);
+    auto cluster = std::make_unique<Cluster>(options);
+    RunMetrics metrics =
+        RunWorkload(cluster.get(), Seconds(12), Seconds(16), 2);
+    return std::make_pair(std::move(cluster), metrics);
+  };
+  auto [a, ma] = run(85);
+  auto [b, mb] = run(85);
+  EXPECT_EQ(ma.committed, mb.committed);
+  EXPECT_EQ(ma.aborted, mb.aborted);
+  EXPECT_EQ(ma.unavailable, mb.unavailable);
+  EXPECT_TRUE(SameSnapshot(a->replica(0), b->replica(0)));
+}
+
+TEST(FaultInjection, ReadYourWritesHeldWhileRemoteReplicaDown) {
+  // In-transaction reads observe the transaction's own buffered writes —
+  // served locally, so a crashed remote replica cannot perturb them.
+  ClusterOptions options = FaultedOptions(86);
+  options.clients_per_dc = 1;
+  options.faults.CrashReplica(Seconds(1), 1).RestartReplica(Seconds(6), 1);
+  Cluster cluster(options);
+  cluster.SeedKey(5, 10);
+
+  Status outcome = Status::Internal("unset");
+  Value reread = -1;
+  cluster.sim().ScheduleAt(Seconds(2), [&] {
+    Client* client = cluster.client(0);  // lives in DC 0, which stays up
+    TxnId txn = client->Begin();
+    client->Read(txn, 5, [&, client, txn](Status s, RecordView v) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      ASSERT_TRUE(client->Write(txn, 5, v.value + 7).ok());
+      client->Read(txn, 5, [&, client, txn](Status s2, RecordView v2) {
+        ASSERT_TRUE(s2.ok()) << s2.ToString();
+        reread = v2.value;  // must be the buffered write, not the store's
+        client->Commit(txn, [&](Status c) { outcome = c; });
+      });
+    });
+  });
+  cluster.Drain();
+
+  EXPECT_EQ(reread, 17);
+  EXPECT_TRUE(outcome.ok()) << outcome.ToString();
+  EXPECT_TRUE(cluster.ReplicasConverged());
+  EXPECT_EQ(cluster.replica(1)->store().Read(5).value, 17)
+      << "the restarted replica caught up on the commit it missed";
+}
+
+TEST(FaultInjection, PermanentCrashLeavesQuorumAvailable) {
+  // A replica that never comes back (legal in the schedule grammar): the
+  // four survivors still form the fast quorum, commits continue, and the
+  // survivors agree with each other.
+  ClusterOptions options = FaultedOptions(87);
+  options.faults.CrashReplica(Seconds(2), 4);
+  Cluster cluster(options);
+
+  WorkloadConfig wl = WriteHeavyWorkload();
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + uint64_t(i)),
+        MakeMdccRunner(cluster.client(i), wl,
+                       cluster.ForkRng(200 + uint64_t(i))),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(10));
+    generators.push_back(std::move(gen));
+  }
+  cluster.Drain();
+
+  EXPECT_GT(metrics.committed, 50u);
+  for (DcId dc = 1; dc < 4; ++dc) {
+    EXPECT_TRUE(SameSnapshot(cluster.replica(0), cluster.replica(dc)))
+        << "surviving replica " << dc << " diverges from replica 0";
+  }
+}
+
+}  // namespace
+}  // namespace planet

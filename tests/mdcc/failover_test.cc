@@ -1,0 +1,188 @@
+// Master failover: mastership epochs, stale-epoch rejection, classic-path
+// re-routing when the epoch-0 master is dead, and the capped exponential
+// backoff of the pending-option resolution protocol.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace planet {
+namespace {
+
+ClusterOptions FailoverOptions(uint64_t seed = 91) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.mdcc.master_dc = 1;  // every key's epoch-0 master is DC 1
+  options.mdcc.txn_timeout = Seconds(3);
+  options.mdcc.read_timeout = Millis(800);
+  options.mdcc.master_failover_timeout = Millis(400);
+  options.recovery_period = Seconds(1);
+  return options;
+}
+
+/// One RMW transaction on `key` from `client`; outcome lands in `out`.
+void Rmw(Client* client, Key key, Status* out) {
+  TxnId txn = client->Begin();
+  client->Read(txn, key, [client, txn, key, out](Status s, RecordView v) {
+    if (!s.ok()) {
+      *out = s;
+      client->AbortEarly(txn);
+      return;
+    }
+    ASSERT_TRUE(client->Write(txn, key, v.value + 1).ok());
+    client->Commit(txn, [out](Status c) { *out = c; });
+  });
+}
+
+TEST(Failover, FastPathCommitsWithoutTheMaster) {
+  // Fast Paxos needs no master: with DC 1 (master of every key) down, an
+  // uncontended transaction still gathers the 4-of-5 fast quorum.
+  Cluster cluster(FailoverOptions());
+  cluster.CrashReplica(1);
+  Status outcome = Status::Internal("unset");
+  Rmw(cluster.client(0), 11, &outcome);
+  cluster.sim().RunFor(Seconds(2));
+  EXPECT_TRUE(outcome.ok()) << outcome.ToString();
+  EXPECT_EQ(cluster.client(0)->failovers(), 0u);
+}
+
+TEST(Failover, ClassicReroutesToNextEpochMaster) {
+  // Forced classic path with the epoch-0 master dead: the failover timer
+  // fires, the coordinator bumps the epoch, and the epoch-1 master (DC 2)
+  // serializes and chooses the option.
+  ClusterOptions options = FailoverOptions(92);
+  options.mdcc.force_classic = true;
+  Cluster cluster(options);
+  cluster.CrashReplica(1);
+
+  Status outcome = Status::Internal("unset");
+  Rmw(cluster.client(0), 11, &outcome);
+  cluster.sim().RunFor(Seconds(2));
+  EXPECT_TRUE(outcome.ok()) << outcome.ToString();
+  EXPECT_EQ(cluster.client(0)->failovers(), 1u);
+  EXPECT_GE(cluster.replica(2)->group_epoch(1), 1)
+      << "the epoch-1 master adopted the bumped epoch";
+
+  // The coordinator learned the new epoch from the classic reply: the next
+  // transaction routes straight to DC 2, with no second failover.
+  Status second = Status::Internal("unset");
+  Rmw(cluster.client(0), 11, &second);
+  cluster.sim().RunFor(Seconds(2));
+  EXPECT_TRUE(second.ok()) << second.ToString();
+  EXPECT_EQ(cluster.client(0)->failovers(), 1u);
+
+  // The old master restarts, replays its WAL, and adopts the state (and
+  // epochs) it missed; the cluster converges.
+  cluster.RestartReplica(1);
+  cluster.Drain();
+  EXPECT_TRUE(cluster.ReplicasConverged());
+  EXPECT_GE(cluster.replica(1)->group_epoch(1), 1)
+      << "the restarted ex-master must not resurrect epoch 0";
+}
+
+TEST(Failover, DisabledFailoverFallsBackToTimeout) {
+  // With master_failover_timeout = 0 the classic path never re-routes: a
+  // proposal to the dead master burns the transaction timeout and reports
+  // unavailable — the pre-failover behaviour, kept as the default.
+  ClusterOptions options = FailoverOptions(93);
+  options.mdcc.force_classic = true;
+  options.mdcc.master_failover_timeout = 0;
+  Cluster cluster(options);
+  cluster.CrashReplica(1);
+
+  Status outcome = Status::Internal("unset");
+  Rmw(cluster.client(0), 11, &outcome);
+  cluster.sim().RunFor(Seconds(5));
+  EXPECT_TRUE(outcome.IsUnavailable()) << outcome.ToString();
+  EXPECT_EQ(cluster.client(0)->failovers(), 0u);
+}
+
+TEST(Failover, StaleEpochProposalRejectedWithHint) {
+  // A proposal at epoch 2 routed to its master (DC 3 = (1+2)%5) bumps the
+  // group epoch everywhere via the master-accept broadcast. A later
+  // epoch-0 proposal to the original master is rejected as stale, with an
+  // epoch hint so the coordinator can catch up without probing.
+  Cluster cluster(FailoverOptions(94));
+
+  WriteOption fresh;
+  fresh.txn = 1;
+  fresh.key = 7;
+  fresh.read_version = 0;
+  fresh.new_value = 42;
+  fresh.epoch = 2;
+  ClassicReply first;
+  bool first_done = false;
+  cluster.replica(3)->HandleClassicPropose(
+      fresh, cluster.replica(0)->id(), [&](ClassicReply r) {
+        first = r;
+        first_done = true;
+      });
+  cluster.sim().RunFor(Seconds(2));
+  ASSERT_TRUE(first_done);
+  EXPECT_TRUE(first.chosen);
+  EXPECT_EQ(cluster.replica(1)->group_epoch(1), 2)
+      << "peers adopt the epoch carried by master accepts";
+
+  WriteOption stale;
+  stale.txn = 2;
+  stale.key = 7;
+  stale.read_version = 1;
+  stale.new_value = 99;
+  stale.epoch = 0;
+  ClassicReply second;
+  bool second_done = false;
+  cluster.replica(1)->HandleClassicPropose(
+      stale, cluster.replica(0)->id(), [&](ClassicReply r) {
+        second = r;
+        second_done = true;
+      });
+  cluster.sim().RunFor(Seconds(2));
+  ASSERT_TRUE(second_done);
+  EXPECT_FALSE(second.chosen);
+  EXPECT_TRUE(second.wrong_master);
+  EXPECT_EQ(second.epoch_hint, 2);
+  EXPECT_EQ(cluster.replica(1)->stale_epoch_rejects(), 1u);
+}
+
+TEST(Failover, ResolveRetriesBackOffExponentially) {
+  // A pending option whose decision no reachable peer knows: the resolve
+  // queries must back off (doubling, capped) instead of hammering the
+  // network every recovery period.
+  ClusterOptions options;
+  options.seed = 95;
+  options.mdcc.txn_timeout = Seconds(2);
+  options.recovery_period = Seconds(1);
+  Cluster cluster(options);
+
+  Status outcome = Status::Internal("unset");
+  Rmw(cluster.client(0), 5, &outcome);
+  // Let the fast accepts land everywhere, then cut DC 3 off before the
+  // visibility broadcast reaches it: a stranded pending, unresolvable
+  // while the partition lasts.
+  cluster.sim().RunFor(Millis(120));
+  for (DcId dc = 0; dc < 5; ++dc) {
+    if (dc != 3) cluster.net().SetPartitioned(3, dc, true);
+  }
+  cluster.sim().RunFor(Seconds(120));
+  ASSERT_TRUE(outcome.ok()) << outcome.ToString();
+  ASSERT_EQ(cluster.replica(3)->store().TotalPending(), 1u);
+
+  // Two minutes at recovery_period=1s would be ~24 attempts (the query
+  // itself expires after 2*txn_timeout) = ~96 queries without backoff;
+  // the capped exponential schedule sends a small fraction of that.
+  uint64_t queries = cluster.replica(3)->resolve_queries_sent();
+  EXPECT_GE(queries, 8u);
+  EXPECT_LE(queries, 48u) << "resolve retries are not backing off";
+
+  // Healing still resolves the stranded option, at most one capped back-off
+  // interval (32 periods) plus a round trip later.
+  for (DcId dc = 0; dc < 5; ++dc) {
+    if (dc != 3) cluster.net().SetPartitioned(3, dc, false);
+  }
+  cluster.sim().RunFor(Seconds(40));
+  EXPECT_EQ(cluster.replica(3)->store().TotalPending(), 0u);
+  EXPECT_GE(cluster.replica(3)->recovered_options(), 1u);
+  EXPECT_EQ(cluster.replica(3)->store().Read(5).value, 1);
+}
+
+}  // namespace
+}  // namespace planet

@@ -91,9 +91,9 @@ TEST_F(ReplicaFixture, ClassicProposeWinsQuorum) {
   Key key = 3;  // master dc 3
   WriteOption o = Physical(1, key, 0, 9);
   bool decided = false, chosen = false;
-  master_of(key)->HandleClassicPropose(o, 5, [&](bool c) {
+  master_of(key)->HandleClassicPropose(o, 5, [&](ClassicReply r) {
     decided = true;
-    chosen = c;
+    chosen = r.chosen;
   });
   sim_.Run();
   EXPECT_TRUE(decided);
@@ -111,9 +111,9 @@ TEST_F(ReplicaFixture, ClassicProposeStaleRejectedImmediately) {
   master_of(key)->store().SeedValue(key, 1);  // version 1 at the master
   WriteOption o = Physical(1, key, 0, 9);     // stale read version
   bool decided = false, chosen = true;
-  master_of(key)->HandleClassicPropose(o, 5, [&](bool c) {
+  master_of(key)->HandleClassicPropose(o, 5, [&](ClassicReply r) {
     decided = true;
-    chosen = c;
+    chosen = r.chosen;
   });
   EXPECT_TRUE(decided) << "stale proposals fail without any messages";
   EXPECT_FALSE(chosen);
@@ -128,9 +128,9 @@ TEST_F(ReplicaFixture, ClassicQueueSerializesConflicts) {
   // Txn 2's classic proposal conflicts: it must wait, not fail.
   WriteOption waiter = Physical(2, key, 0, 2);
   bool decided = false, chosen = false;
-  master->HandleClassicPropose(waiter, 5, [&](bool c) {
+  master->HandleClassicPropose(waiter, 5, [&](ClassicReply r) {
     decided = true;
-    chosen = c;
+    chosen = r.chosen;
   });
   sim_.RunFor(Millis(100));
   EXPECT_FALSE(decided) << "queued behind txn 1's pending option";
@@ -148,9 +148,9 @@ TEST_F(ReplicaFixture, ClassicQueueTimesOut) {
   master->HandleFastAccept(holder, 5, [](VoteReply) {});
   WriteOption waiter = Physical(2, key, 0, 2);
   bool decided = false, chosen = true;
-  master->HandleClassicPropose(waiter, 5, [&](bool c) {
+  master->HandleClassicPropose(waiter, 5, [&](ClassicReply r) {
     decided = true;
-    chosen = c;
+    chosen = r.chosen;
   });
   // The holder never resolves; the queue timeout rejects the waiter.
   sim_.RunFor(config_.classic_queue_timeout + Millis(50));

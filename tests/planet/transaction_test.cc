@@ -2,6 +2,9 @@
 // likelihood queries, speculation/apology, give-up, and admission control.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "harness/cluster.h"
 
 namespace planet {
@@ -218,10 +221,11 @@ TEST(PlanetTxn, AdmissionControlRejectsHotKeys) {
 
 TEST(PlanetTxn, StatsAccumulateAcrossTransactions) {
   Cluster cluster(BaseOptions());
+  std::vector<std::unique_ptr<TxnProbe>> probes;
   for (int i = 0; i < 8; ++i) {
-    TxnProbe* probe = new TxnProbe();  // leak: test scope only
+    probes.push_back(std::make_unique<TxnProbe>());
     RunRmw(cluster, cluster.planet_client(i % cluster.num_clients()),
-           static_cast<Key>(1000 + i), probe);
+           static_cast<Key>(1000 + i), probes.back().get());
   }
   cluster.Drain();
   const PlanetStats& stats = cluster.context().stats();
@@ -259,9 +263,11 @@ TEST(PlanetTxn, CommutativeAddThroughModel) {
 
 TEST(PlanetTxn, LatencyModelLearnsFromTraffic) {
   Cluster cluster(BaseOptions());
+  std::vector<std::unique_ptr<TxnProbe>> probes;
   for (int i = 0; i < 5; ++i) {
-    TxnProbe* probe = new TxnProbe();
-    RunRmw(cluster, cluster.planet_client(0), static_cast<Key>(50 + i), probe);
+    probes.push_back(std::make_unique<TxnProbe>());
+    RunRmw(cluster, cluster.planet_client(0), static_cast<Key>(50 + i),
+           probes.back().get());
   }
   cluster.Drain();
   LatencyModel& lm = cluster.context().latency_model();

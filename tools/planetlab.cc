@@ -57,6 +57,10 @@ struct Args {
   // spike: dc:start_s:end_s:extra_ms
   bool spike = false;
   int spike_dc = 0, spike_start = 0, spike_end = 0, spike_extra_ms = 0;
+  // faults
+  FaultSchedule faults;
+  std::string fault_spec;
+  int failover_ms = 0;
   bool csv = false;
   bool verbose = false;
   SweepOptions sweep;  // --threads (harmless here: one point), --json
@@ -84,6 +88,12 @@ planet:     --deadline MS     speculation deadline
             --giveup          below threshold, notify "pending"
             --admission TAU   enable admission control
 faults:     --spike DC:START:END:MS   latency spike on one DC
+            --fault SPEC      deterministic fault schedule, e.g.
+                              "crash@20:1,restart@50:1" or
+                              "partition@10:2;heal@30:2;spike@40:0:250"
+                              (kind@SECONDS:DC[:EXTRA_MS], ','/';' separated)
+            --failover MS     per-record master failover timeout (planet/mdcc;
+                              also arms the planet dead-DC detector)
 output:     --csv             also print CSV
             --json PATH       write metrics as a JSON document
             --verbose         extra diagnostics
@@ -147,6 +157,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (sscanf(need(i), "%d:%d:%d:%d", &args->spike_dc, &args->spike_start,
                  &args->spike_end, &args->spike_extra_ms) != 4) {
         std::fprintf(stderr, "--spike wants DC:START:END:MS\n");
+        return false;
+      }
+    } else if (a == "--fault") {
+      args->fault_spec = need(i);
+      std::string error;
+      if (!FaultSchedule::Parse(args->fault_spec, &args->faults, &error)) {
+        std::fprintf(stderr, "--fault: %s\n", error.c_str());
+        return false;
+      }
+    } else if (a == "--failover") {
+      args->failover_ms = atoi(need(i));
+      if (args->failover_ms < 0) {
+        std::fprintf(stderr, "--failover wants a nonnegative ms value\n");
         return false;
       }
     } else if (a == "--csv") {
@@ -248,6 +271,10 @@ void ExportJson(const Args& args, const LabResult& r) {
   }
   if (args.threshold >= 0) point.Param("threshold", args.threshold);
   if (args.admission > 0) point.Param("admission", args.admission);
+  if (!args.fault_spec.empty()) point.Param("fault", args.fault_spec);
+  if (args.failover_ms > 0) {
+    point.Param("failover_ms", (long long)args.failover_ms);
+  }
   point.Scalar("replicas_converged", r.converged ? 1 : 0);
   point.Metrics(r.metrics, Seconds(args.duration_s));
   if (r.has_planet_stats) point.Speculation(r.planet_stats);
@@ -261,6 +288,7 @@ LabResult RunTpc(const Args& args) {
   options.tpc.num_dcs = args.dcs;
   options.wan = args.dcs == 5 ? FiveDcWan() : UniformWan(args.dcs, 50.0);
   options.clients_per_dc = args.clients_per_dc;
+  options.faults = args.faults;
   TpcCluster cluster(options);
   if (args.spike) {
     std::fprintf(stderr, "note: --spike applies to the mdcc/planet stacks\n");
@@ -292,6 +320,11 @@ LabResult RunMdccOrPlanet(const Args& args) {
   options.clients_per_dc = args.clients_per_dc;
   options.planet.enable_admission = args.admission > 0;
   options.planet.admission_threshold = args.admission;
+  options.faults = args.faults;
+  if (args.failover_ms > 0) {
+    options.mdcc.master_failover_timeout = Millis(args.failover_ms);
+    options.planet.dead_after = Millis(args.failover_ms);
+  }
   Cluster cluster(options);
   cluster.sim().InstallLogTimeSource();
 
