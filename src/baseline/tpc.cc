@@ -135,6 +135,7 @@ TxnId TpcClient::Begin() {
   TxnId txn = (static_cast<TxnId>(id_) << 40) | next_local_txn_++;
   TxnState& state = txns_[txn];
   state.id = txn;
+  state.begin = Now();
   return txn;
 }
 
@@ -286,6 +287,7 @@ void TpcClient::StartPhase2(TxnState& state, bool commit, Status outcome) {
     Finish(state, std::move(outcome));
     return;
   }
+  state.commit_sent = true;
   state.acks_pending = static_cast<int>(state.writes.size());
   for (const auto& [key, option] : state.writes) {
     DcId home = config_.MasterOf(key);
@@ -311,6 +313,33 @@ void TpcClient::Finish(TxnState& state, Status outcome) {
   if (state.timeout_event != kInvalidEventId) {
     sim_->Cancel(state.timeout_event);
     state.timeout_event = kInvalidEventId;
+  }
+  if (recorder_ != nullptr) {
+    RecordedTxn rec;
+    rec.id = state.id;
+    rec.client_dc = dc_;
+    rec.begin = state.begin;
+    rec.decide = Now();
+    rec.outcome = outcome.ok() ? TxnOutcome::kCommitted
+                  : outcome.IsUnavailable() ? TxnOutcome::kUnavailable
+                                            : TxnOutcome::kAborted;
+    // Phase-2 commit went out but the ack never came back: the decision is
+    // commit, yet this coordinator cannot know where it landed (in doubt).
+    rec.in_doubt = !outcome.ok() && state.commit_sent;
+    rec.reads.reserve(state.read_versions.size());
+    for (const auto& [key, version] : state.read_versions) {
+      rec.reads.push_back(RecordedRead{key, version});
+    }
+    rec.writes.reserve(state.writes.size());
+    for (const auto& [key, option] : state.writes) {
+      RecordedWrite w;
+      w.key = key;
+      w.kind = option.kind;
+      w.read_version = option.read_version;
+      w.new_value = option.new_value;
+      rec.writes.push_back(w);
+    }
+    recorder_->RecordTxn(std::move(rec));
   }
   if (outcome.ok()) {
     ++committed_;

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/history.h"
 #include "common/status.h"
 #include "sim/node.h"
 #include "storage/store.h"
@@ -108,6 +109,12 @@ class TpcClient : public Node {
   /// Drops an unsubmitted transaction (e.g. after a read timeout).
   void AbortEarly(TxnId txn);
 
+  /// Attaches a history recorder (see mdcc::Client::SetHistoryRecorder):
+  /// every finished transaction is logged, with the 2PC in-doubt window
+  /// (phase-2 commit started but the ack quorum never arrived) marked so
+  /// the oracles treat those writes as possibly applied.
+  void SetHistoryRecorder(HistoryRecorder* recorder) { recorder_ = recorder; }
+
   uint64_t committed() const { return committed_; }
   uint64_t aborted() const { return aborted_; }
 
@@ -116,6 +123,7 @@ class TpcClient : public Node {
   struct TxnState {
     TxnId id = kInvalidTxnId;
     Phase phase = Phase::kExecuting;
+    SimTime begin = 0;
     std::unordered_map<Key, Version> read_versions;
     std::unordered_map<Key, WriteOption> writes;
     CommitCallback cb;
@@ -124,6 +132,7 @@ class TpcClient : public Node {
     bool vote_failed = false;
     std::vector<Key> prepared;  ///< keys that voted yes (locks to release)
     int acks_pending = 0;
+    bool commit_sent = false;  ///< phase-2 commit messages are out
   };
 
   TxnState* Find(TxnId txn);
@@ -134,6 +143,7 @@ class TpcClient : public Node {
 
   TpcConfig config_;
   std::vector<TpcNode*> nodes_;
+  HistoryRecorder* recorder_ = nullptr;
   std::unordered_map<TxnId, TxnState> txns_;
   uint64_t next_local_txn_ = 1;
   uint64_t committed_ = 0;

@@ -1,0 +1,358 @@
+#include "check/serializability.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace planet {
+namespace {
+
+/// Graph node index per committed (or in-doubt, when allowed) transaction.
+using NodeIndex = int;
+constexpr NodeIndex kNoNode = -1;
+
+/// One adjacency-list edge, annotated for witness reconstruction.
+struct Edge {
+  NodeIndex to = kNoNode;
+  char kind = '?';
+  Key key = 0;
+  Version version = 0;
+};
+
+struct Graph {
+  std::vector<const RecordedTxn*> nodes;
+  std::vector<std::vector<Edge>> adj;
+
+  void AddEdge(NodeIndex from, NodeIndex to, char kind, Key key, Version v) {
+    if (from == to) return;  // self-dependencies are not anomalies
+    adj[static_cast<size_t>(from)].push_back(Edge{to, kind, key, v});
+  }
+
+  size_t EdgeCount() const {
+    size_t n = 0;
+    for (const auto& out : adj) n += out.size();
+    return n;
+  }
+};
+
+/// Shortest cycle through any node of the graph, as witness edges.
+/// BFS from every node over its out-edges back to itself; O(V * E), run
+/// only when a cycle is known to exist (Tarjan found a nontrivial SCC).
+std::vector<WitnessEdge> ShortestCycle(const Graph& g,
+                                       const std::vector<NodeIndex>& scc) {
+  std::vector<WitnessEdge> best;
+  std::vector<int> in_scc(g.nodes.size(), 0);
+  for (NodeIndex n : scc) in_scc[static_cast<size_t>(n)] = 1;
+
+  for (NodeIndex start : scc) {
+    // parent[v] = edge used to first reach v from `start`.
+    std::vector<std::pair<NodeIndex, const Edge*>> parent(g.nodes.size(),
+                                                          {kNoNode, nullptr});
+    std::deque<NodeIndex> queue{start};
+    std::vector<int> seen(g.nodes.size(), 0);
+    seen[static_cast<size_t>(start)] = 1;
+    const Edge* closing = nullptr;
+    while (!queue.empty() && closing == nullptr) {
+      NodeIndex u = queue.front();
+      queue.pop_front();
+      for (const Edge& e : g.adj[static_cast<size_t>(u)]) {
+        if (!in_scc[static_cast<size_t>(e.to)]) continue;
+        if (e.to == start) {
+          parent[static_cast<size_t>(start)] = {u, &e};
+          closing = &e;
+          break;
+        }
+        if (!seen[static_cast<size_t>(e.to)]) {
+          seen[static_cast<size_t>(e.to)] = 1;
+          parent[static_cast<size_t>(e.to)] = {u, &e};
+          queue.push_back(e.to);
+        }
+      }
+    }
+    if (closing == nullptr) continue;
+
+    // Walk parents back from `start` to `start`, collecting the cycle.
+    std::vector<WitnessEdge> cycle;
+    NodeIndex v = start;
+    do {
+      auto [u, e] = parent[static_cast<size_t>(v)];
+      WitnessEdge w;
+      w.from = g.nodes[static_cast<size_t>(u)]->id;
+      w.to = g.nodes[static_cast<size_t>(v)]->id;
+      w.kind = e->kind;
+      w.key = e->key;
+      w.version = e->version;
+      cycle.push_back(w);
+      v = u;
+    } while (v != start);
+    std::reverse(cycle.begin(), cycle.end());
+    if (best.empty() || cycle.size() < best.size()) best = std::move(cycle);
+    if (best.size() == 2) break;  // cannot do better: no self-loops exist
+  }
+  return best;
+}
+
+/// Iterative Tarjan SCC; returns the members of every SCC of size >= 2.
+std::vector<std::vector<NodeIndex>> NontrivialSccs(const Graph& g) {
+  const size_t n = g.nodes.size();
+  std::vector<int> index(n, -1), low(n, 0), on_stack(n, 0);
+  std::vector<NodeIndex> stack;
+  std::vector<std::vector<NodeIndex>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    NodeIndex v;
+    size_t edge = 0;
+  };
+  for (NodeIndex root = 0; root < static_cast<NodeIndex>(n); ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    std::vector<Frame> frames{{root}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      size_t v = static_cast<size_t>(f.v);
+      if (f.edge == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(f.v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (f.edge < g.adj[v].size()) {
+        NodeIndex w = g.adj[v][f.edge].to;
+        ++f.edge;
+        size_t wi = static_cast<size_t>(w);
+        if (index[wi] == -1) {
+          frames.push_back(Frame{w});
+          descended = true;
+          break;
+        }
+        if (on_stack[wi]) low[v] = std::min(low[v], index[wi]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        std::vector<NodeIndex> scc;
+        NodeIndex w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<size_t>(w)] = 0;
+          scc.push_back(w);
+        } while (w != f.v);
+        if (scc.size() >= 2) sccs.push_back(std::move(scc));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        size_t p = static_cast<size_t>(frames.back().v);
+        low[p] = std::min(low[p], low[v]);
+      }
+    }
+  }
+  return sccs;
+}
+
+}  // namespace
+
+const char* TxnOutcomeName(TxnOutcome outcome) {
+  switch (outcome) {
+    case TxnOutcome::kCommitted:
+      return "committed";
+    case TxnOutcome::kAborted:
+      return "aborted";
+    case TxnOutcome::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kVersionFork:
+      return "version-fork";
+    case ViolationKind::kPhantomVersion:
+      return "phantom-version";
+    case ViolationKind::kCycle:
+      return "cycle";
+  }
+  return "?";
+}
+
+std::string WitnessEdge::ToString() const {
+  std::ostringstream os;
+  const char* name = kind == 'w' ? "ww" : kind == 'r' ? "wr" : "rw";
+  os << "txn " << from << " -" << name << "(key " << key << " @v" << version
+     << ")-> txn " << to;
+  return os.str();
+}
+
+std::string Violation::ToString() const {
+  std::ostringstream os;
+  os << ViolationKindName(kind) << ": " << message;
+  for (const WitnessEdge& e : cycle) os << "\n    " << e.ToString();
+  return os.str();
+}
+
+std::string CheckReport::Summary() const {
+  std::ostringstream os;
+  os << committed_txns << " committed txns, " << edges << " edges: ";
+  if (ok()) {
+    os << "serializable";
+  } else {
+    os << violations.size() << " violation(s)";
+    for (const Violation& v : violations) os << "\n  " << v.ToString();
+  }
+  return os.str();
+}
+
+CheckReport CheckSerializability(const History& history,
+                                 const CheckerOptions& options) {
+  CheckReport report;
+
+  // Nodes: committed transactions (in-doubt ones only join version chains).
+  Graph g;
+  std::unordered_map<TxnId, NodeIndex> node_of;
+  for (const RecordedTxn& txn : history.txns()) {
+    if (txn.outcome != TxnOutcome::kCommitted) continue;
+    node_of.emplace(txn.id, static_cast<NodeIndex>(g.nodes.size()));
+    g.nodes.push_back(&txn);
+  }
+  g.adj.resize(g.nodes.size());
+  report.committed_txns = g.nodes.size();
+
+  // Per-key chains: installed version -> writers. std::map keeps versions
+  // ordered for the ww edges; the writer list catches forks.
+  struct ChainEntry {
+    std::vector<NodeIndex> committed;  ///< committed writers of this version
+    bool seeded = false;               ///< installed by SeedValue
+    bool in_doubt = false;             ///< possible 2PC in-doubt writer
+  };
+  std::map<Key, std::map<Version, ChainEntry>> chains;
+  for (const SeededKey& seed : history.seeds()) {
+    chains[seed.key][seed.version].seeded = true;
+  }
+  for (const RecordedTxn& txn : history.txns()) {
+    bool committed = txn.outcome == TxnOutcome::kCommitted;
+    bool in_doubt = options.allow_in_doubt_writers && txn.in_doubt;
+    if (!committed && !in_doubt) continue;
+    for (const RecordedWrite& w : txn.writes) {
+      if (w.kind != OptionKind::kPhysical) continue;
+      ChainEntry& entry = chains[w.key][w.installed()];
+      if (committed) {
+        entry.committed.push_back(node_of.at(txn.id));
+      } else {
+        entry.in_doubt = true;
+      }
+    }
+  }
+
+  // Structural checks + ww edges along each chain.
+  for (const auto& [key, chain] : chains) {
+    const ChainEntry* prev = nullptr;
+    Version prev_version = 0;
+    for (const auto& [version, entry] : chain) {
+      size_t writers = entry.committed.size() + (entry.seeded ? 1 : 0);
+      if (writers > 1) {
+        Violation v;
+        v.kind = ViolationKind::kVersionFork;
+        v.keys.push_back(key);
+        std::ostringstream os;
+        os << "key " << key << " v" << version << " installed by "
+           << writers << " committed writers:";
+        for (NodeIndex n : entry.committed) {
+          v.txns.push_back(g.nodes[static_cast<size_t>(n)]->id);
+          os << " txn " << g.nodes[static_cast<size_t>(n)]->id;
+        }
+        if (entry.seeded) os << " seed";
+        v.message = os.str();
+        report.violations.push_back(std::move(v));
+      }
+      if (prev != nullptr && version == prev_version + 1) {
+        for (NodeIndex from : prev->committed) {
+          for (NodeIndex to : entry.committed) {
+            g.AddEdge(from, to, 'w', key, version);
+          }
+        }
+      }
+      prev = &entry;
+      prev_version = version;
+    }
+  }
+
+  // Reader edges. A transaction's validated read of (key, v) is the
+  // read_version of its physical write; unvalidated reads join only on
+  // request. Writers of v get wr edges to the reader; writers of v+1 get
+  // rw (anti-dependency) edges from it.
+  auto add_reader_edges = [&](NodeIndex reader, Key key, Version version) {
+    auto chain_it = chains.find(key);
+    const std::map<Version, ChainEntry>* chain =
+        chain_it == chains.end() ? nullptr : &chain_it->second;
+    bool known = version == 0;  // every key logically starts at version 0
+    if (chain != nullptr) {
+      auto entry = chain->find(version);
+      if (entry != chain->end()) {
+        known = true;
+        for (NodeIndex from : entry->second.committed) {
+          g.AddEdge(from, reader, 'r', key, version);
+        }
+      }
+      auto next = chain->find(version + 1);
+      if (next != chain->end()) {
+        for (NodeIndex to : next->second.committed) {
+          g.AddEdge(reader, to, 'a', key, version);
+        }
+      }
+    }
+    if (!known) {
+      Violation v;
+      v.kind = ViolationKind::kPhantomVersion;
+      v.txns.push_back(g.nodes[static_cast<size_t>(reader)]->id);
+      v.keys.push_back(key);
+      std::ostringstream os;
+      os << "txn " << g.nodes[static_cast<size_t>(reader)]->id
+         << " observed key " << key << " @v" << version
+         << ", which no committed write installed (dirty read)";
+      v.message = os.str();
+      report.violations.push_back(std::move(v));
+    }
+  };
+
+  for (NodeIndex n = 0; n < static_cast<NodeIndex>(g.nodes.size()); ++n) {
+    const RecordedTxn& txn = *g.nodes[static_cast<size_t>(n)];
+    for (const RecordedWrite& w : txn.writes) {
+      if (w.kind != OptionKind::kPhysical) continue;
+      add_reader_edges(n, w.key, w.read_version);
+    }
+    if (!options.include_unvalidated_reads) continue;
+    for (const RecordedRead& r : txn.reads) {
+      // Skip keys covered by a validated (written) access: writes are
+      // sorted by key, so a binary search keeps this pass O(R log W).
+      auto w = std::lower_bound(
+          txn.writes.begin(), txn.writes.end(), r.key,
+          [](const RecordedWrite& lhs, Key k) { return lhs.key < k; });
+      if (w != txn.writes.end() && w->key == r.key &&
+          w->kind == OptionKind::kPhysical) {
+        continue;
+      }
+      add_reader_edges(n, r.key, r.version);
+    }
+  }
+  report.edges = g.EdgeCount();
+
+  // Cycle detection, witness only when needed.
+  for (const std::vector<NodeIndex>& scc : NontrivialSccs(g)) {
+    Violation v;
+    v.kind = ViolationKind::kCycle;
+    v.cycle = ShortestCycle(g, scc);
+    for (const WitnessEdge& e : v.cycle) {
+      v.txns.push_back(e.from);
+      v.keys.push_back(e.key);
+    }
+    std::ostringstream os;
+    os << "serialization graph cycle of length " << v.cycle.size() << " ("
+       << scc.size() << " txns entangled)";
+    v.message = os.str();
+    report.violations.push_back(std::move(v));
+  }
+  return report;
+}
+
+}  // namespace planet

@@ -1,0 +1,104 @@
+// Serializability checking over a recorded History.
+//
+// The checker rebuilds each key's committed version chain (every committed
+// physical write installs read_version + 1) and the direct serialization
+// graph (DSG) over the committed transactions:
+//   ww  writer of version v   -> writer of version v+1     (same key)
+//   wr  writer of version v   -> transaction that read v   (same key)
+//   rw  reader of version v   -> writer of version v+1     (anti-dependency)
+// A cycle in the DSG is a serializability violation; the checker reports it
+// with a minimal witness (a shortest cycle, with the edge kinds and keys).
+//
+// Two structural violations are reported before any graph work:
+//   * version fork — two committed physical writes install the same
+//     (key, version). Paxos quorum intersection makes this impossible in a
+//     correct run; it is the direct signature of a lost update.
+//   * phantom version — a committed transaction observed a version that no
+//     committed (or seed) write installed, i.e. it read dirty state from an
+//     aborted or timed-out transaction.
+//
+// Access selection: by default only *validated* accesses enter the graph —
+// the write set plus the read_versions carried by physical writes, which
+// the acceptors actually validate. This checks update serializability, the
+// guarantee the protocol makes. Read-committed reads of keys a transaction
+// never writes are unvalidated by design (write skew is permitted); setting
+// CheckerOptions::include_unvalidated_reads adds them to the graph for
+// full-serializability analysis.
+//
+// Commutative deltas commute by construction: they neither install versions
+// nor validate reads, so they contribute no DSG edges (their conservation
+// is checked by the convergence oracle instead).
+#ifndef PLANET_CHECK_SERIALIZABILITY_H_
+#define PLANET_CHECK_SERIALIZABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+
+namespace planet {
+
+struct CheckerOptions {
+  /// Add read-only accesses (reads of keys the transaction does not write)
+  /// to the graph. Off by default: those reads are read committed, not
+  /// validated, and flagging the resulting write-skew cycles would report
+  /// the documented isolation level as a bug.
+  bool include_unvalidated_reads = false;
+
+  /// Treat in-doubt transactions (2PC phase-2 timeouts) as possible writers
+  /// when building version chains, instead of reporting their installed
+  /// versions as phantoms. Their writes may or may not have been applied;
+  /// either way they are legal chain links. Off for the MDCC stack, where
+  /// no transaction is ever in doubt.
+  bool allow_in_doubt_writers = false;
+};
+
+/// Kind of serializability violation.
+enum class ViolationKind {
+  kVersionFork,     ///< two committed writers installed the same version
+  kPhantomVersion,  ///< a committed txn observed a never-committed version
+  kCycle,           ///< the DSG has a cycle (witness attached)
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+/// One DSG edge of a cycle witness.
+struct WitnessEdge {
+  TxnId from = kInvalidTxnId;
+  TxnId to = kInvalidTxnId;
+  char kind = '?';  ///< 'w' = ww, 'r' = wr, 'a' = rw (anti-dependency)
+  Key key = 0;
+  Version version = 0;  ///< version the edge is anchored at
+
+  std::string ToString() const;
+};
+
+/// One violation, human-readable and machine-usable.
+struct Violation {
+  ViolationKind kind = ViolationKind::kCycle;
+  std::string message;           ///< one-line description
+  std::vector<TxnId> txns;       ///< offending transactions
+  std::vector<Key> keys;         ///< offending keys
+  std::vector<WitnessEdge> cycle;  ///< kCycle: a shortest cycle
+
+  std::string ToString() const;
+};
+
+/// Result of one serializability check.
+struct CheckReport {
+  std::vector<Violation> violations;
+  size_t committed_txns = 0;  ///< graph nodes considered
+  size_t edges = 0;           ///< DSG edges built
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+/// Checks the history; never mutates it. Cost is O(txns + edges) plus a
+/// shortest-cycle search only when a cycle exists.
+CheckReport CheckSerializability(const History& history,
+                                 const CheckerOptions& options = {});
+
+}  // namespace planet
+
+#endif  // PLANET_CHECK_SERIALIZABILITY_H_

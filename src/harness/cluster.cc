@@ -63,6 +63,27 @@ FaultActions Cluster::MakeFaultActions() {
 
 void Cluster::SeedKey(Key key, Value value) {
   for (auto& r : replicas_) r->store().SeedValue(key, value);
+  if (recorder_ != nullptr) {
+    recorder_->RecordSeed(key, replicas_.front()->store().Read(key).version,
+                          value);
+  }
+}
+
+void Cluster::SetHistoryRecorder(HistoryRecorder* recorder) {
+  recorder_ = recorder;
+  for (auto& c : clients_) c->SetHistoryRecorder(recorder);
+}
+
+std::vector<ReplicaState> Cluster::LiveReplicaStates() const {
+  std::vector<ReplicaState> states;
+  for (const auto& r : replicas_) {
+    if (r->crashed()) continue;
+    ReplicaState state;
+    state.id = r->dc();
+    state.snapshot = r->store().Snapshot();
+    states.push_back(std::move(state));
+  }
+  return states;
 }
 
 void Cluster::SeedBounds(Key key, ValueBounds bounds) {
@@ -203,6 +224,27 @@ FaultActions TpcCluster::MakeFaultActions() {
 
 void TpcCluster::SeedKey(Key key, Value value) {
   for (auto& node : nodes_) node->store().SeedValue(key, value);
+  if (recorder_ != nullptr) {
+    recorder_->RecordSeed(key, nodes_.front()->store().Read(key).version,
+                          value);
+  }
+}
+
+void TpcCluster::SetHistoryRecorder(HistoryRecorder* recorder) {
+  recorder_ = recorder;
+  for (auto& c : clients_) c->SetHistoryRecorder(recorder);
+}
+
+std::vector<ReplicaState> TpcCluster::LiveReplicaStates() const {
+  std::vector<ReplicaState> states;
+  for (const auto& node : nodes_) {
+    if (node->crashed()) continue;
+    ReplicaState state;
+    state.id = node->dc();
+    state.snapshot = node->store().Snapshot();
+    states.push_back(std::move(state));
+  }
+  return states;
 }
 
 bool TpcCluster::ReplicasConverged() const {

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "baseline/tpc.h"
+#include "check/convergence.h"
+#include "check/history.h"
 #include "fault/fault.h"
 #include "harness/wan.h"
 #include "mdcc/client.h"
@@ -51,8 +53,20 @@ class Cluster {
   }
 
   /// Seeds a committed value on every replica (identical, pre-traffic).
+  /// Logged to an attached history recorder (seed first or attach first —
+  /// attach-then-seed records the seed, seed-then-attach does not).
   void SeedKey(Key key, Value value);
   void SeedBounds(Key key, ValueBounds bounds);
+
+  /// Attaches `recorder` to every coordinator client (the PLANET clients
+  /// share the same coordinators). Null detaches. Recording changes no
+  /// scheduling and draws no randomness, so runs with and without a
+  /// recorder are bit-identical.
+  void SetHistoryRecorder(HistoryRecorder* recorder);
+
+  /// Committed snapshots of every non-crashed replica, as the convergence
+  /// oracle wants them (call after quiesce).
+  std::vector<ReplicaState> LiveReplicaStates() const;
 
   /// Cuts one DC off from every other DC (its clients keep local access).
   void PartitionDc(DcId dc);
@@ -94,6 +108,7 @@ class Cluster {
   std::unique_ptr<PlanetContext> ctx_;
   std::vector<std::unique_ptr<PlanetClient>> planet_clients_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  HistoryRecorder* recorder_ = nullptr;
 };
 
 /// Options of a 2PC baseline cluster.
@@ -121,6 +136,10 @@ class TpcCluster {
   void Drain() { sim_.Run(); }
   bool ReplicasConverged() const;
 
+  /// History recording and oracle input, mirroring Cluster.
+  void SetHistoryRecorder(HistoryRecorder* recorder);
+  std::vector<ReplicaState> LiveReplicaStates() const;
+
   /// Fault effectors for the 2PC stack (crash/restart/partition/heal/spike).
   void PartitionDc(DcId dc);
   void HealDc(DcId dc);
@@ -137,6 +156,7 @@ class TpcCluster {
   std::vector<std::unique_ptr<TpcNode>> nodes_;
   std::vector<std::unique_ptr<TpcClient>> clients_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  HistoryRecorder* recorder_ = nullptr;
 };
 
 }  // namespace planet

@@ -37,6 +37,18 @@ struct RunMetrics {
     if (result.speculative) ++speculative_notifications;
   }
 
+  /// Folds another run's metrics into this one (fuzzer shard aggregation).
+  void Merge(const RunMetrics& other) {
+    committed += other.committed;
+    aborted += other.aborted;
+    unavailable += other.unavailable;
+    rejected += other.rejected;
+    speculative_notifications += other.speculative_notifications;
+    latency_committed.Merge(other.latency_committed);
+    latency_all.Merge(other.latency_all);
+    user_latency.Merge(other.user_latency);
+  }
+
   /// A sink suitable for LoadGenerator::SetResultSink.
   std::function<void(const TxnResult&)> Sink() {
     return [this](const TxnResult& r) { Record(r); };

@@ -411,11 +411,39 @@ void Client::OnTimeout(TxnId txn) {
   Decide(*state, false, Status::Unavailable("transaction timeout"));
 }
 
+void Client::RecordDecision(const TxnState& state, bool commit,
+                            const Status& outcome) {
+  RecordedTxn rec;
+  rec.id = state.view.id;
+  rec.client_dc = dc_;
+  rec.begin = state.view.begin_time;
+  rec.decide = state.view.decide_time;
+  rec.outcome = commit ? TxnOutcome::kCommitted
+                : outcome.IsUnavailable() ? TxnOutcome::kUnavailable
+                                          : TxnOutcome::kAborted;
+  rec.reads.reserve(state.read_versions.size());
+  for (const auto& [key, version] : state.read_versions) {
+    rec.reads.push_back(RecordedRead{key, version});
+  }
+  rec.writes.reserve(state.writes.size());
+  for (const auto& [key, option] : state.writes) {
+    RecordedWrite w;
+    w.key = key;
+    w.kind = option.kind;
+    w.read_version = option.read_version;
+    w.new_value = option.new_value;
+    w.delta = option.delta;
+    rec.writes.push_back(w);
+  }
+  recorder_->RecordTxn(std::move(rec));
+}
+
 void Client::Decide(TxnState& state, bool commit, Status outcome) {
   if (state.done) return;
   state.done = true;
   state.view.decide_time = Now();
   state.view.outcome = outcome;
+  if (recorder_ != nullptr) RecordDecision(state, commit, outcome);
   if (state.timeout_event != kInvalidEventId) {
     sim_->Cancel(state.timeout_event);
     state.timeout_event = kInvalidEventId;

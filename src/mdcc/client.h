@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/history.h"
 #include "common/status.h"
 #include "mdcc/config.h"
 #include "mdcc/replica.h"
@@ -148,6 +149,12 @@ class Client : public Node {
   void SetGlobalClassicListener(
       std::function<void(DcId master_dc, bool chosen, Duration rtt)> listener);
 
+  /// Attaches a history recorder: every decided transaction is logged with
+  /// its validated reads, writes, outcome and timestamps (correctness
+  /// oracles). Null (the default) records nothing and adds no work, no
+  /// events and no RNG draws, so uninstrumented runs stay bit-identical.
+  void SetHistoryRecorder(HistoryRecorder* recorder) { recorder_ = recorder; }
+
   /// This coordinator's view of a key group's mastership epoch.
   int group_epoch(int group) const {
     return group_epoch_[static_cast<size_t>(group)];
@@ -197,8 +204,13 @@ class Client : public Node {
   void SetPhase(TxnState& state, TxnPhase phase);
   void MaybeGc(TxnId txn);
 
+  /// Builds the recorder entry for a decided transaction (recorder_ set).
+  void RecordDecision(const TxnState& state, bool commit,
+                      const Status& outcome);
+
   MdccConfig config_;
   std::vector<Replica*> replicas_;
+  HistoryRecorder* recorder_ = nullptr;
   std::unordered_map<TxnId, TxnState> txns_;
   std::function<void(const VoteEvent&)> global_vote_listener_;
   std::function<void(Key, bool, bool)> global_option_listener_;

@@ -55,6 +55,14 @@ struct MdccConfig {
   /// (experiment F9).
   Duration replica_service_cost = 0;
 
+  /// Chaos mutation for oracle self-tests (--chaos-drop-learn): every
+  /// replica except DC 0 silently drops its first N committed physical
+  /// learns — the payload is discarded, not deferred, as if the learn were
+  /// lost on a buggy code path. With N > 0 the convergence and
+  /// serialization-graph oracles MUST flag the run; 0 (the default)
+  /// disables the mutation entirely. Never enable outside tests.
+  int chaos_drop_learn = 0;
+
   /// Fast quorum size: N - floor(N/4) (Fast Paxos), e.g. 4 of 5.
   int FastQuorum() const { return num_dcs - num_dcs / 4; }
 

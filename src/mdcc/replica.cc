@@ -264,6 +264,18 @@ void Replica::DoVisibility(TxnId txn, bool commit,
 }
 
 void Replica::ApplyDecided(const WriteOption& option) {
+  // Chaos mutation (oracle self-test): swallow the first N committed
+  // physical learns at every replica but DC 0. The pending option is
+  // removed, not left to the resolution protocol, so the dropped learn
+  // stays dropped — a later read here serves the stale version and a
+  // stale fast quorum can then commit a forked chain.
+  if (config_.chaos_drop_learn > 0 && dc_ != 0 &&
+      option.kind == OptionKind::kPhysical &&
+      chaos_dropped_ < static_cast<uint64_t>(config_.chaos_drop_learn)) {
+    ++chaos_dropped_;
+    store_.RemoveOption(option.txn, option.key);
+    return;
+  }
   if (option.kind == OptionKind::kCommutative) {
     if (!store_.ApplyOption(option.txn, option.key)) {
       store_.LearnOption(option);

@@ -250,6 +250,8 @@ class Replica : public Node {
   uint64_t fast_accept_requests_ = 0;
   uint64_t classic_proposals_ = 0;
   uint64_t stale_epoch_rejects_ = 0;
+  /// Committed learns swallowed so far by the chaos_drop_learn mutation.
+  uint64_t chaos_dropped_ = 0;
 };
 
 }  // namespace planet

@@ -94,6 +94,14 @@ class PlanetClient {
   PlanetContext* context() const { return ctx_; }
   DcId dc() const { return db_->dc(); }
 
+  /// Attaches a history recorder to the underlying MDCC coordinator: the
+  /// PLANET layer adds no storage accesses of its own (admission-rejected
+  /// transactions never submit writes), so the coordinator's log is the
+  /// complete history of this client. Null disables recording (default).
+  void SetHistoryRecorder(HistoryRecorder* recorder) {
+    db_->SetHistoryRecorder(recorder);
+  }
+
   // -- Handle backends (called by PlanetTransaction) ---------------------
   void Read(TxnId txn, Key key, std::function<void(Status, Value)> cb);
   Status Write(TxnId txn, Key key, Value value);

@@ -38,7 +38,8 @@ void Store::SeedValue(Key key, Value value) {
   rec.value = value;
   // Seeded state is durable: without a WAL entry it would silently vanish
   // on crash recovery.
-  wal_.push_back(WalEntry{kInvalidTxnId, key, rec.version, rec.value});
+  wal_.push_back(
+      WalEntry{kInvalidTxnId, key, rec.version, rec.value, rec.comm_txns});
 }
 
 void Store::SetBounds(Key key, ValueBounds bounds) {
@@ -117,11 +118,14 @@ void Store::ApplyPayload(Record& rec, const WriteOption& option) {
     rec.value = option.new_value;
   } else {
     // Commutative deltas do not touch the version: addition commutes, so
-    // replicas converge regardless of delivery order.
+    // replicas converge regardless of delivery order. A delta this record
+    // already embeds (re-delivered visibility, or a learn racing with an
+    // adoption that included it) must not be added twice.
+    if (rec.HasDelta(option.txn)) return;
     rec.value += option.delta;
-    ++rec.deltas_applied;
+    rec.comm_txns.push_back(option.txn);
   }
-  wal_.push_back(WalEntry{option.txn, option.key, rec.version, rec.value});
+  wal_.push_back(WalEntry{option.txn, option.key, rec.version, rec.value, {}});
 }
 
 bool Store::ApplyOption(TxnId txn, Key key) {
@@ -162,7 +166,7 @@ std::vector<SyncEntry> Store::ExportState() const {
   state.reserve(records_.size());
   for (const auto& [key, rec] : records_) {
     state.push_back(SyncEntry{key, rec.version, rec.value,
-                              rec.deltas_applied});
+                              rec.comm_txns.size(), rec.comm_txns});
   }
   return state;
 }
@@ -171,12 +175,15 @@ bool Store::AdoptRecord(const SyncEntry& entry) {
   Record& rec = FindOrCreate(entry.key);
   bool fresher = entry.version > rec.version ||
                  (entry.version == rec.version &&
-                  entry.deltas_applied > rec.deltas_applied);
+                  entry.deltas_applied > rec.comm_txns.size());
   if (!fresher) return false;
   rec.version = entry.version;
   rec.value = entry.value;
-  rec.deltas_applied = entry.deltas_applied;
-  wal_.push_back(WalEntry{kInvalidTxnId, entry.key, rec.version, rec.value});
+  // The peer's value embeds exactly the peer's delta set: install it too,
+  // so a late learn of one of those transactions stays a no-op here.
+  rec.comm_txns = entry.comm_txns;
+  wal_.push_back(WalEntry{kInvalidTxnId, entry.key, rec.version, rec.value,
+                          rec.comm_txns});
   return true;
 }
 
@@ -190,11 +197,16 @@ void Store::RecoverFromWal() {
   records_.clear();
   for (const WalEntry& entry : wal_) {
     Record& rec = records_[entry.key];
-    if (entry.new_version == rec.version) {
-      // Same-version transitions are committed commutative deltas (or
-      // same-version adoptions, which replay equivalently).
+    if (entry.txn == kInvalidTxnId) {
+      // Seed or adoption: whole-record install, including the set of
+      // commutative transactions the installed value embeds.
+      rec.version = entry.new_version;
       rec.value = entry.new_value;
-      ++rec.deltas_applied;
+      rec.comm_txns = entry.comm_txns;
+    } else if (entry.new_version == rec.version) {
+      // Same-version transition: a committed commutative delta.
+      rec.value = entry.new_value;
+      rec.comm_txns.push_back(entry.txn);
     } else {
       rec.version = entry.new_version;
       rec.value = entry.new_value;
@@ -207,13 +219,18 @@ void Store::RecoverFromWal() {
   }
 }
 
+void Store::RestoreFromLog(std::vector<WalEntry> entries) {
+  wal_ = std::move(entries);
+  RecoverFromWal();
+}
+
 std::map<Key, RecordView> Store::Snapshot() const {
   std::map<Key, RecordView> snapshot;
   for (const auto& [key, rec] : records_) {
     // Records still in their logical default state (never committed to) are
     // omitted: whether a replica materialized such a record is an artifact
     // of aborted accepts, not a semantic difference.
-    if (rec.version == 0 && rec.value == 0 && rec.deltas_applied == 0) {
+    if (rec.version == 0 && rec.value == 0 && rec.comm_txns.empty()) {
       continue;
     }
     snapshot[key] = RecordView{rec.version, rec.value};

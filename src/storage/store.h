@@ -8,6 +8,7 @@
 #ifndef PLANET_STORAGE_STORE_H_
 #define PLANET_STORAGE_STORE_H_
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -33,22 +34,30 @@ struct ValueBounds {
 };
 
 /// One entry of the (in-memory) write-ahead log: a record transition applied
-/// at visibility time.
+/// at visibility time. Seed and adoption entries (txn == kInvalidTxnId)
+/// install whole-record state and carry `comm_txns`, the set of committed
+/// commutative transactions whose deltas that state embeds — without it a
+/// replayed replica could not tell an already-incorporated delta from a
+/// missed one and would re-apply it on a late learn.
 struct WalEntry {
   TxnId txn;
   Key key;
   Version new_version;
   Value new_value;
+  std::vector<TxnId> comm_txns;
 };
 
 /// One record's committed state as shipped by anti-entropy sync.
 /// `deltas_applied` counts committed commutative deltas (they do not bump
-/// the version, so it is the freshness signal for counter records).
+/// the version, so it is the freshness signal for counter records);
+/// `comm_txns` identifies those transactions, making later learns of a
+/// delta the adopted value already embeds idempotent at the adopter.
 struct SyncEntry {
   Key key = 0;
   Version version = 0;
   Value value = 0;
   uint64_t deltas_applied = 0;
+  std::vector<TxnId> comm_txns;
 };
 
 /// The store. Single-owner (one per replica node), not thread safe.
@@ -87,7 +96,9 @@ class Store {
   bool ApplyOption(TxnId txn, Key key);
 
   /// Applies a decided option this replica never accepted (catch-up path).
-  /// Physical payloads overwrite; commutative payloads add.
+  /// Physical payloads overwrite; commutative payloads add. Idempotent for
+  /// commutative options: a delta the record already embeds (applied
+  /// directly, or inherited through AdoptRecord) is not applied twice.
   void LearnOption(const WriteOption& option);
 
   /// Number of pending options across all records.
@@ -110,10 +121,16 @@ class Store {
   /// Crash recovery: rebuilds committed state by replaying the WAL (the
   /// only durable structure). Pending options are volatile acceptor state
   /// and are discarded; demarcation bounds survive as catalog metadata.
-  /// Replayed delta counts can undercount for adopted records (the WAL does
-  /// not carry peer delta counts), which only makes anti-entropy adopt a
-  /// peer's state more eagerly — never less.
+  /// Seed/adoption entries carry the embedded commutative transaction set,
+  /// so the rebuilt state is delta-exact and replayed learns stay
+  /// idempotent across the crash.
   void RecoverFromWal();
+
+  /// Crash recovery from an externally supplied log: replaces this store's
+  /// WAL with `entries` and replays it (same semantics as RecoverFromWal).
+  /// Models a power cycle that lost the log suffix after `entries` — the
+  /// crash-point sweep tests restore every prefix of a run's WAL this way.
+  void RestoreFromLog(std::vector<WalEntry> entries);
 
   const std::vector<WalEntry>& wal() const { return wal_; }
 
@@ -127,10 +144,21 @@ class Store {
   struct Record {
     Version version = 0;
     Value value = 0;
-    uint64_t deltas_applied = 0;  ///< committed commutative deltas
+    /// Committed commutative transactions whose deltas `value` embeds, in
+    /// application order. Membership makes commutative application
+    /// idempotent: after AdoptRecord installs a peer value that already
+    /// includes a txn's delta, the txn's own (late) learn must be a no-op —
+    /// otherwise the delta lands twice and anti-entropy spreads the corrupt
+    /// record everywhere ("equal version, more deltas" looks fresher).
+    std::vector<TxnId> comm_txns;
     ValueBounds bounds;
     bool has_bounds = false;
     std::vector<WriteOption> pending;
+
+    bool HasDelta(TxnId txn) const {
+      return std::find(comm_txns.begin(), comm_txns.end(), txn) !=
+             comm_txns.end();
+    }
   };
 
   const Record* Find(Key key) const;

@@ -1,0 +1,182 @@
+// Unit tests of the replica-convergence oracle: pairwise divergence,
+// history chain/delta cross-checks, and the cases the history cannot
+// predict (in-doubt keys, mixed physical+delta keys).
+#include "check/convergence.h"
+
+#include <gtest/gtest.h>
+
+namespace planet {
+namespace {
+
+ReplicaState Replica(int id, std::map<Key, RecordView> snapshot) {
+  ReplicaState r;
+  r.id = id;
+  r.snapshot = std::move(snapshot);
+  return r;
+}
+
+RecordedTxn CommittedPhysical(TxnId id, Key key, Version read_version,
+                              Value value) {
+  RecordedTxn t;
+  t.id = id;
+  t.outcome = TxnOutcome::kCommitted;
+  RecordedWrite w;
+  w.key = key;
+  w.kind = OptionKind::kPhysical;
+  w.read_version = read_version;
+  w.new_value = value;
+  t.writes.push_back(w);
+  return t;
+}
+
+RecordedTxn CommittedDelta(TxnId id, Key key, Value delta) {
+  RecordedTxn t;
+  t.id = id;
+  t.outcome = TxnOutcome::kCommitted;
+  RecordedWrite w;
+  w.key = key;
+  w.kind = OptionKind::kCommutative;
+  w.delta = delta;
+  t.writes.push_back(w);
+  return t;
+}
+
+bool HasKind(const ConvergenceReport& report,
+             ConvergenceViolation::Kind kind) {
+  for (const ConvergenceViolation& v : report.violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Convergence, IdenticalReplicasPass) {
+  std::map<Key, RecordView> state{{1, {2, 10}}, {2, {1, 5}}};
+  auto report = CheckConvergence({Replica(0, state), Replica(1, state)});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.keys_compared, 2u);
+}
+
+TEST(Convergence, DivergenceIsFlaggedWithReplicaIds) {
+  auto report = CheckConvergence(
+      {Replica(0, {{1, {2, 10}}}), Replica(3, {{1, {2, 11}}})});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, ConvergenceViolation::Kind::kDivergence));
+  EXPECT_NE(report.violations[0].message.find("replica 3"), std::string::npos);
+}
+
+TEST(Convergence, MissingRecordComparesAsLogicalDefault) {
+  // A replica that never materialized a still-default record is not
+  // divergent from one that did.
+  auto report = CheckConvergence(
+      {Replica(0, {{1, {0, 0}}}), Replica(1, {})});
+  EXPECT_TRUE(report.ok());
+
+  // But a missing record against real committed state is divergence.
+  auto bad = CheckConvergence({Replica(0, {{1, {2, 10}}}), Replica(1, {})});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Convergence, ChainMatchPasses) {
+  History h;
+  h.AddSeed(1, 1, 100);
+  h.Add(CommittedPhysical(1, 1, 1, 101));
+  h.Add(CommittedPhysical(2, 1, 2, 102));
+  std::map<Key, RecordView> state{{1, {3, 102}}};
+  auto report =
+      CheckConvergence({Replica(0, state), Replica(1, state)}, &h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(Convergence, ForkedChainFailsTheVersionEquation) {
+  // Two committed writers both install v2 (a fork). Anti-entropy can still
+  // make every replica agree on one of them, but the quiesced version then
+  // undershoots seed + committed-write-count — the oracle's signature of a
+  // lost update that pairwise comparison alone would miss.
+  History h;
+  h.AddSeed(1, 1, 100);
+  h.Add(CommittedPhysical(1, 1, 1, 101));
+  h.Add(CommittedPhysical(2, 1, 1, 202));  // forked writer
+  std::map<Key, RecordView> state{{1, {2, 101}}};
+  auto report =
+      CheckConvergence({Replica(0, state), Replica(1, state)}, &h);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, ConvergenceViolation::Kind::kChainMismatch));
+}
+
+TEST(Convergence, StaleFinalStateIsAChainMismatch) {
+  // Replicas agree but hold v2 while the history committed through v3.
+  History h;
+  h.AddSeed(1, 1, 100);
+  h.Add(CommittedPhysical(1, 1, 1, 101));
+  h.Add(CommittedPhysical(2, 1, 2, 102));
+  std::map<Key, RecordView> state{{1, {2, 101}}};
+  auto report =
+      CheckConvergence({Replica(0, state), Replica(1, state)}, &h);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, ConvergenceViolation::Kind::kChainMismatch));
+}
+
+TEST(Convergence, DeltaConservationHolds) {
+  History h;
+  h.AddSeed(1, 1, 10);
+  h.Add(CommittedDelta(1, 1, +3));
+  h.Add(CommittedDelta(2, 1, -1));
+  std::map<Key, RecordView> good{{1, {1, 12}}};
+  EXPECT_TRUE(CheckConvergence({Replica(0, good)}, &h).ok());
+
+  std::map<Key, RecordView> lost{{1, {1, 9}}};  // one delta missing
+  auto report = CheckConvergence({Replica(0, lost)}, &h);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, ConvergenceViolation::Kind::kDeltaMismatch));
+}
+
+TEST(Convergence, InDoubtKeysSkipHistoryCheckButNotPairwise) {
+  History h;
+  h.AddSeed(1, 1, 100);
+  RecordedTxn t;
+  t.id = 1;
+  t.outcome = TxnOutcome::kUnavailable;
+  t.in_doubt = true;
+  RecordedWrite w;
+  w.key = 1;
+  w.kind = OptionKind::kPhysical;
+  w.read_version = 1;
+  w.new_value = 999;
+  t.writes.push_back(w);
+  h.Add(std::move(t));
+
+  // Applied at every replica or at none: both are legal for an in-doubt
+  // write, so the history check stays silent either way.
+  std::map<Key, RecordView> applied{{1, {2, 999}}};
+  std::map<Key, RecordView> dropped{{1, {1, 100}}};
+  EXPECT_TRUE(CheckConvergence({Replica(0, applied), Replica(1, applied)}, &h)
+                  .ok());
+  EXPECT_TRUE(CheckConvergence({Replica(0, dropped), Replica(1, dropped)}, &h)
+                  .ok());
+
+  // Applied at one replica but not the other is still divergence.
+  auto report =
+      CheckConvergence({Replica(0, applied), Replica(1, dropped)}, &h);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, ConvergenceViolation::Kind::kDivergence));
+}
+
+TEST(Convergence, MixedPhysicalAndDeltaKeysSkipHistoryCheck) {
+  // The history cannot order a physical overwrite against concurrent deltas,
+  // so mixed keys get only the pairwise comparison.
+  History h;
+  h.AddSeed(1, 1, 10);
+  h.Add(CommittedPhysical(1, 1, 1, 50));
+  h.Add(CommittedDelta(2, 1, +5));
+  std::map<Key, RecordView> state{{1, {2, 55}}};
+  EXPECT_TRUE(
+      CheckConvergence({Replica(0, state), Replica(1, state)}, &h).ok());
+}
+
+TEST(Convergence, NoHistoryMeansPairwiseOnly) {
+  std::map<Key, RecordView> state{{1, {7, 42}}};
+  EXPECT_TRUE(CheckConvergence({Replica(0, state), Replica(1, state)}).ok());
+}
+
+}  // namespace
+}  // namespace planet

@@ -1,0 +1,213 @@
+// Integration tests of the history recorder: every stack's client logs its
+// decided transactions faithfully, and attaching a recorder changes nothing
+// about the run itself (zero-overhead-when-disabled is really
+// zero-interference-when-enabled: recording draws no randomness and
+// schedules no events).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "check/convergence.h"
+#include "check/serializability.h"
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+#include "workload/runners.h"
+
+namespace planet {
+namespace {
+
+WorkloadConfig SmallWorkload(bool commutative = false) {
+  WorkloadConfig wl;
+  wl.num_keys = 50;
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 2;
+  wl.commutative = commutative;
+  return wl;
+}
+
+/// Runs an MDCC cluster for `length`, returning the final reference
+/// snapshot and filling `metrics`; records into `recorder` when non-null.
+std::map<Key, RecordView> RunMdcc(uint64_t seed, HistoryRecorder* recorder,
+                                  RunMetrics* metrics,
+                                  bool commutative = false) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.clients_per_dc = 2;
+  Cluster cluster(options);
+  cluster.SetHistoryRecorder(recorder);
+  for (Key key = 0; key < 50; ++key) cluster.SeedKey(key, 100);
+  WorkloadConfig wl = SmallWorkload(commutative);
+  std::vector<std::unique_ptr<LoadGenerator>> gens;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + uint64_t(i)),
+        MakeMdccRunner(cluster.client(i), wl,
+                       cluster.ForkRng(200 + uint64_t(i))),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics->Sink());
+    gen->Start(Seconds(5));
+    gens.push_back(std::move(gen));
+  }
+  cluster.Drain();
+  return cluster.replica(0)->store().Snapshot();
+}
+
+TEST(HistoryRecorder, RecordsEveryDecidedMdccTransaction) {
+  HistoryRecorder recorder;
+  RunMetrics metrics;
+  RunMdcc(42, &recorder, &metrics);
+  const History& h = recorder.history();
+
+  EXPECT_EQ(h.seeds().size(), 50u);
+  EXPECT_EQ(h.seeds().front().version, 1u);
+  // Every attempted transaction reached a recorded decision (admission
+  // rejections don't exist on the raw MDCC path).
+  EXPECT_EQ(h.txns().size(), metrics.attempted());
+  EXPECT_EQ(h.CommittedCount(), metrics.committed);
+  EXPECT_GT(metrics.committed, 100u);
+
+  size_t committed_with_writes = 0;
+  for (const RecordedTxn& t : h.txns()) {
+    EXPECT_NE(t.id, kInvalidTxnId);
+    EXPECT_GE(t.decide, t.begin);
+    EXPECT_FALSE(t.in_doubt) << "MDCC transactions are never in doubt";
+    if (t.outcome == TxnOutcome::kCommitted && !t.writes.empty()) {
+      ++committed_with_writes;
+      for (size_t i = 1; i < t.writes.size(); ++i) {
+        EXPECT_LE(t.writes[i - 1].key, t.writes[i].key) << "sorted by key";
+      }
+    }
+  }
+  EXPECT_GT(committed_with_writes, 0u);
+}
+
+TEST(HistoryRecorder, CleanRunPassesBothOracles) {
+  HistoryRecorder recorder;
+  RunMetrics metrics;
+  ClusterOptions options;
+  options.seed = 7;
+  options.clients_per_dc = 2;
+  Cluster cluster(options);
+  cluster.SetHistoryRecorder(&recorder);
+  for (Key key = 0; key < 50; ++key) cluster.SeedKey(key, 100);
+  std::vector<std::unique_ptr<LoadGenerator>> gens;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + uint64_t(i)),
+        MakeMdccRunner(cluster.client(i), SmallWorkload(),
+                       cluster.ForkRng(200 + uint64_t(i))),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(5));
+    gens.push_back(std::move(gen));
+  }
+  cluster.Drain();
+
+  CheckReport serial = CheckSerializability(recorder.history());
+  EXPECT_TRUE(serial.ok()) << serial.Summary();
+  EXPECT_EQ(serial.committed_txns, metrics.committed);
+
+  ConvergenceReport conv =
+      CheckConvergence(cluster.LiveReplicaStates(), &recorder.history());
+  EXPECT_TRUE(conv.ok()) << conv.Summary();
+  EXPECT_EQ(conv.keys_compared, 50u);
+}
+
+TEST(HistoryRecorder, AttachingRecorderDoesNotPerturbTheRun) {
+  // The zero-overhead claim, observable form: a recorded run and an
+  // unrecorded run of the same seed produce identical final state and
+  // identical metrics. (The BENCH byte-identity check is the stronger
+  // version of this; this pins it in the test suite.)
+  RunMetrics with_metrics, without_metrics;
+  HistoryRecorder recorder;
+  auto with = RunMdcc(1234, &recorder, &with_metrics);
+  auto without = RunMdcc(1234, nullptr, &without_metrics);
+
+  EXPECT_EQ(with, without);
+  EXPECT_EQ(with_metrics.committed, without_metrics.committed);
+  EXPECT_EQ(with_metrics.aborted, without_metrics.aborted);
+  EXPECT_EQ(with_metrics.unavailable, without_metrics.unavailable);
+  EXPECT_EQ(with_metrics.latency_all.Percentile(99),
+            without_metrics.latency_all.Percentile(99));
+  EXPECT_GT(recorder.history().txns().size(), 0u);
+}
+
+TEST(HistoryRecorder, CommutativeWritesRecordDeltas) {
+  HistoryRecorder recorder;
+  RunMetrics metrics;
+  RunMdcc(99, &recorder, &metrics, /*commutative=*/true);
+  size_t deltas = 0;
+  for (const RecordedTxn& t : recorder.history().txns()) {
+    for (const RecordedWrite& w : t.writes) {
+      if (w.kind == OptionKind::kCommutative) {
+        ++deltas;
+        EXPECT_EQ(w.delta, 1) << "runner increments by one";
+      }
+    }
+  }
+  EXPECT_GT(deltas, 0u);
+  CheckReport serial = CheckSerializability(recorder.history());
+  EXPECT_TRUE(serial.ok()) << serial.Summary();
+}
+
+TEST(HistoryRecorder, PlanetClientRecordsThroughCoordinator) {
+  HistoryRecorder recorder;
+  RunMetrics metrics;
+  ClusterOptions options;
+  options.seed = 21;
+  Cluster cluster(options);
+  cluster.SetHistoryRecorder(&recorder);
+  for (Key key = 0; key < 50; ++key) cluster.SeedKey(key, 100);
+  std::vector<std::unique_ptr<LoadGenerator>> gens;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + uint64_t(i)),
+        MakePlanetRunner(cluster.planet_client(i), SmallWorkload(),
+                         cluster.ForkRng(200 + uint64_t(i))),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(5));
+    gens.push_back(std::move(gen));
+  }
+  cluster.Drain();
+  EXPECT_EQ(recorder.history().CommittedCount(), metrics.committed);
+  EXPECT_GT(metrics.committed, 50u);
+  EXPECT_TRUE(CheckSerializability(recorder.history()).ok());
+}
+
+TEST(HistoryRecorder, TpcClientRecordsAndPassesOracles) {
+  HistoryRecorder recorder;
+  RunMetrics metrics;
+  TpcClusterOptions options;
+  options.seed = 13;
+  options.clients_per_dc = 2;
+  TpcCluster cluster(options);
+  cluster.SetHistoryRecorder(&recorder);
+  for (Key key = 0; key < 50; ++key) cluster.SeedKey(key, 100);
+  std::vector<std::unique_ptr<LoadGenerator>> gens;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + uint64_t(i)),
+        MakeTpcRunner(cluster.client(i), SmallWorkload(),
+                      cluster.ForkRng(200 + uint64_t(i))),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(5));
+    gens.push_back(std::move(gen));
+  }
+  cluster.Drain();
+
+  EXPECT_EQ(recorder.history().CommittedCount(), metrics.committed);
+  EXPECT_GT(metrics.committed, 50u);
+  CheckerOptions tpc_options;
+  tpc_options.allow_in_doubt_writers = true;
+  CheckReport serial = CheckSerializability(recorder.history(), tpc_options);
+  EXPECT_TRUE(serial.ok()) << serial.Summary();
+  ConvergenceReport conv =
+      CheckConvergence(cluster.LiveReplicaStates(), &recorder.history());
+  EXPECT_TRUE(conv.ok()) << conv.Summary();
+}
+
+}  // namespace
+}  // namespace planet

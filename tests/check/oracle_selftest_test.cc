@@ -1,0 +1,107 @@
+// Oracle self-test: the --chaos-drop-learn mutation (replicas outside DC 0
+// silently discard their first N committed physical learns) is a synthetic
+// lost-update bug. A clean run must pass both oracles; a chaos run must be
+// flagged by BOTH — the serialization-graph checker (version forks / rw
+// cycles from stale fast quorums) and the convergence oracle (the quiesced
+// chain is shorter than the committed write count). If either oracle goes
+// silent here, it has lost its teeth and fuzzing is vacuous.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "check/convergence.h"
+#include "check/serializability.h"
+#include "harness/cluster.h"
+#include "harness/metrics.h"
+#include "workload/runners.h"
+
+namespace planet {
+namespace {
+
+struct OracleVerdict {
+  CheckReport serial;
+  ConvergenceReport conv;
+  uint64_t committed = 0;
+};
+
+OracleVerdict RunWithChaos(uint64_t seed, int chaos_drop_learn) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.clients_per_dc = 2;
+  options.mdcc.chaos_drop_learn = chaos_drop_learn;
+  options.recovery_period = Seconds(1);
+  Cluster cluster(options);
+
+  HistoryRecorder recorder;
+  cluster.SetHistoryRecorder(&recorder);
+  // A small hot key space so dropped learns quickly meet stale fast quorums.
+  for (Key key = 0; key < 16; ++key) cluster.SeedKey(key, 100);
+  WorkloadConfig wl;
+  wl.num_keys = 16;
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 1;
+
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LoadGenerator>> gens;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    auto gen = std::make_unique<LoadGenerator>(
+        &cluster.sim(), cluster.ForkRng(100 + uint64_t(i)),
+        MakeMdccRunner(cluster.client(i), wl,
+                       cluster.ForkRng(200 + uint64_t(i))),
+        LoadGenerator::Options{});
+    gen->SetResultSink(metrics.Sink());
+    gen->Start(Seconds(3));
+    gens.push_back(std::move(gen));
+  }
+  cluster.Drain();
+  // Final anti-entropy round: the mutation must survive quiesce — healing
+  // the pairwise divergence is allowed, hiding the lost update is not.
+  for (DcId dc = 0; dc < cluster.num_dcs(); ++dc) {
+    cluster.replica(dc)->RequestSyncAll();
+  }
+  cluster.Drain();
+
+  OracleVerdict v;
+  v.serial = CheckSerializability(recorder.history());
+  v.conv = CheckConvergence(cluster.LiveReplicaStates(), &recorder.history());
+  v.committed = metrics.committed;
+  return v;
+}
+
+TEST(OracleSelfTest, CleanRunPassesBothOracles) {
+  OracleVerdict v = RunWithChaos(31, /*chaos_drop_learn=*/0);
+  EXPECT_GT(v.committed, 40u);
+  EXPECT_TRUE(v.serial.ok()) << v.serial.Summary();
+  EXPECT_TRUE(v.conv.ok()) << v.conv.Summary();
+}
+
+TEST(OracleSelfTest, ChaosDropLearnTripsBothOracles) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    OracleVerdict v = RunWithChaos(seed, /*chaos_drop_learn=*/20);
+    EXPECT_GT(v.committed, 40u) << "seed " << seed;
+    EXPECT_FALSE(v.serial.ok())
+        << "seed " << seed << ": serialization-graph oracle missed the "
+        << "injected lost updates";
+    EXPECT_FALSE(v.conv.ok())
+        << "seed " << seed << ": convergence oracle missed the injected "
+        << "lost updates";
+    bool fork_or_cycle = false;
+    for (const Violation& violation : v.serial.violations) {
+      if (violation.kind == ViolationKind::kVersionFork ||
+          violation.kind == ViolationKind::kCycle) {
+        fork_or_cycle = true;
+      }
+    }
+    EXPECT_TRUE(fork_or_cycle) << "seed " << seed;
+  }
+}
+
+TEST(OracleSelfTest, ChaosIsOffByDefault) {
+  // The chaos knob must never leak into normal configurations.
+  MdccConfig config;
+  EXPECT_EQ(config.chaos_drop_learn, 0);
+}
+
+}  // namespace
+}  // namespace planet

@@ -115,6 +115,55 @@ TEST(Histogram, MergeIntoEmpty) {
   EXPECT_EQ(a.min(), 123);
 }
 
+TEST(Histogram, MergeOfEmptyOtherIsANoOp) {
+  // Regression guard: merging an empty histogram must not pollute min/max
+  // (an unguarded merge would fold the empty sentinel min into a real one).
+  Histogram a, empty;
+  a.Record(500);
+  a.Record(2000);
+  Histogram before = a;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), before.min());
+  EXPECT_EQ(a.max(), before.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), before.Mean());
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(a.Percentile(p), before.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeOfTwoEmptiesStaysEmpty) {
+  Histogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0);
+  EXPECT_EQ(a.max(), 0);
+  EXPECT_EQ(a.Percentile(99), 0);
+  EXPECT_EQ(a.CdfAt(100), 1.0);
+}
+
+TEST(Histogram, MergeAfterResetActsLikeFresh) {
+  // A reset histogram must merge as if newly constructed — both as the
+  // source (no stale samples leak) and as the destination.
+  Histogram src, dst;
+  src.Record(42);
+  src.Reset();
+  dst.Record(1000);
+  dst.Merge(src);
+  EXPECT_EQ(dst.count(), 1u);
+  EXPECT_EQ(dst.min(), 1000);
+
+  Histogram dst2;
+  dst2.Record(42);
+  dst2.Reset();
+  Histogram src2;
+  src2.Record(77);
+  dst2.Merge(src2);
+  EXPECT_EQ(dst2.count(), 1u);
+  EXPECT_EQ(dst2.min(), 77);
+  EXPECT_EQ(dst2.max(), 77);
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.Record(10);

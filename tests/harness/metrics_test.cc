@@ -1,0 +1,104 @@
+// RunMetrics::Merge: the fuzzer and the sweep runner fold per-shard metrics
+// into one report; the fold must match recording everything into a single
+// RunMetrics, including histogram state and the empty-shard edge cases.
+#include "harness/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace planet {
+namespace {
+
+TxnResult MakeResult(Rng* rng) {
+  TxnResult r;
+  double roll = rng->NextDouble();
+  if (roll < 0.7) {
+    r.status = Status::OK();
+  } else if (roll < 0.9) {
+    r.status = Status::Aborted("conflict");
+  } else {
+    r.status = Status::Unavailable("timeout");
+  }
+  r.latency = rng->UniformInt(1000, 500000);
+  r.user_latency = r.latency / 2;
+  return r;
+}
+
+TEST(RunMetrics, MergeEqualsSingleSink) {
+  RunMetrics a, b, all;
+  auto sink_a = a.Sink();
+  auto sink_b = b.Sink();
+  auto sink_all = all.Sink();
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    TxnResult r = MakeResult(&rng);
+    (i % 2 == 0 ? sink_a : sink_b)(r);
+    sink_all(r);
+  }
+  a.Merge(b);
+
+  EXPECT_EQ(a.committed, all.committed);
+  EXPECT_EQ(a.aborted, all.aborted);
+  EXPECT_EQ(a.unavailable, all.unavailable);
+  EXPECT_EQ(a.rejected, all.rejected);
+  EXPECT_EQ(a.attempted(), all.attempted());
+  EXPECT_DOUBLE_EQ(a.CommitRate(), all.CommitRate());
+  EXPECT_EQ(a.latency_committed.count(), all.latency_committed.count());
+  EXPECT_EQ(a.latency_all.count(), all.latency_all.count());
+  EXPECT_EQ(a.user_latency.count(), all.user_latency.count());
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_EQ(a.latency_all.Percentile(p), all.latency_all.Percentile(p))
+        << "p=" << p;
+    EXPECT_EQ(a.latency_committed.Percentile(p),
+              all.latency_committed.Percentile(p))
+        << "p=" << p;
+  }
+}
+
+TEST(RunMetrics, MergeOfEmptyShardIsANoOp) {
+  RunMetrics a, empty;
+  auto sink = a.Sink();
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) sink(MakeResult(&rng));
+  uint64_t committed = a.committed;
+  int64_t p99 = a.latency_all.Percentile(99);
+  int64_t min_lat = a.latency_all.min();
+
+  a.Merge(empty);
+  EXPECT_EQ(a.committed, committed);
+  EXPECT_EQ(a.latency_all.Percentile(99), p99);
+  EXPECT_EQ(a.latency_all.min(), min_lat)
+      << "an empty shard must not pollute the latency minimum";
+
+  RunMetrics fresh;
+  fresh.Merge(a);
+  EXPECT_EQ(fresh.committed, committed);
+  EXPECT_EQ(fresh.latency_all.Percentile(99), p99);
+}
+
+TEST(RunMetrics, MergeIsAssociativeOnCounters) {
+  RunMetrics a, b, c;
+  a.committed = 1;
+  a.rejected = 4;
+  b.aborted = 2;
+  c.unavailable = 3;
+  RunMetrics left;
+  left.Merge(a);
+  left.Merge(b);
+  left.Merge(c);
+  RunMetrics bc;
+  bc.Merge(b);
+  bc.Merge(c);
+  RunMetrics right;
+  right.Merge(a);
+  right.Merge(bc);
+  EXPECT_EQ(left.committed, right.committed);
+  EXPECT_EQ(left.aborted, right.aborted);
+  EXPECT_EQ(left.unavailable, right.unavailable);
+  EXPECT_EQ(left.rejected, right.rejected);
+  EXPECT_EQ(left.attempted(), 6u);
+}
+
+}  // namespace
+}  // namespace planet

@@ -222,6 +222,46 @@ TEST(Store, AdoptRecordUsesDeltaCountAtEqualVersion) {
   EXPECT_EQ(store.Read(9).value, 8);
 }
 
+// Regression: a delta the record inherited through AdoptRecord must not be
+// applied again when the transaction's own (late) learn arrives. Found by
+// planet_fuzz: a restarted replica synced a peer's counter that already
+// embedded txn T's delta, then received T's visibility broadcast, applied
+// the delta a second time, and anti-entropy spread the corrupt record to
+// every replica ("equal version, more deltas" reads as fresher).
+TEST(Store, LearnAfterAdoptionOfSameDeltaIsIdempotent) {
+  Store peer;
+  WriteOption t = Commutative(42, 7, 5);
+  peer.LearnOption(t);  // peer applied T: value 5, one delta
+
+  Store restarted;
+  for (const auto& entry : peer.ExportState()) {
+    ASSERT_TRUE(restarted.AdoptRecord(entry));
+  }
+  EXPECT_EQ(restarted.Read(7).value, 5);
+
+  restarted.LearnOption(t);  // T's visibility arrives after the sync
+  EXPECT_EQ(restarted.Read(7).value, 5) << "delta applied twice";
+
+  // The idempotence must survive a crash: the adoption WAL entry carries
+  // the embedded delta set.
+  restarted.RecoverFromWal();
+  restarted.LearnOption(t);
+  EXPECT_EQ(restarted.Read(7).value, 5) << "delta re-applied after replay";
+}
+
+TEST(Store, DirectReapplicationOfSameDeltaIsIdempotent) {
+  Store store;
+  WriteOption t = Commutative(42, 7, 5);
+  store.LearnOption(t);
+  store.LearnOption(t);  // duplicate visibility delivery
+  EXPECT_EQ(store.Read(7).value, 5);
+
+  store.RecoverFromWal();
+  EXPECT_EQ(store.Read(7).value, 5);
+  store.LearnOption(t);
+  EXPECT_EQ(store.Read(7).value, 5);
+}
+
 TEST(Store, AdoptRecordKeepsPendingOptions) {
   Store store;
   store.AcceptOption(Commutative(7, 3, 1));
