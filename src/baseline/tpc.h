@@ -14,6 +14,7 @@
 #define PLANET_BASELINE_TPC_H_
 
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -103,7 +104,7 @@ class TpcClient : public Node {
 
   TxnId Begin();
   void Read(TxnId txn, Key key, ReadCallback cb);
-  Status Write(TxnId txn, Key key, Value value);
+  [[nodiscard]] Status Write(TxnId txn, Key key, Value value);
   void Commit(TxnId txn, CommitCallback cb);
 
   /// Drops an unsubmitted transaction (e.g. after a read timeout).
@@ -124,8 +125,11 @@ class TpcClient : public Node {
     TxnId id = kInvalidTxnId;
     Phase phase = Phase::kExecuting;
     SimTime begin = 0;
-    std::unordered_map<Key, Version> read_versions;
-    std::unordered_map<Key, WriteOption> writes;
+    // Ordered: iterated when acquiring locks and committing, so iteration
+    // order decides message order on the wire — std::map keeps that order
+    // platform-independent (hash order is not).
+    std::map<Key, Version> read_versions;
+    std::map<Key, WriteOption> writes;
     CommitCallback cb;
     EventId timeout_event = kInvalidEventId;
     int votes_pending = 0;

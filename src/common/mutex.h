@@ -1,0 +1,77 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable_any that carry Clang thread-safety-analysis
+// capability attributes (common/thread_annotations.h). The std types carry
+// no attributes, so code that wants the compile-time lock discipline must
+// use these instead.
+#ifndef PLANET_COMMON_MUTEX_H_
+#define PLANET_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace planet {
+
+/// A std::mutex with TSA capability attributes. Also satisfies the standard
+/// BasicLockable / Lockable requirements (lock/unlock/try_lock), so it can
+/// back a std::condition_variable_any wait.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Standard-library spellings (BasicLockable/Lockable), equally annotated.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for a planet::Mutex (the annotated std::lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with planet::Mutex. Wait() releases and
+/// re-acquires the mutex internally, which the static analysis cannot
+/// follow, so its body is exempt — the REQUIRES contract on the caller is
+/// still enforced.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until `pred()` holds. `mu` must be held on entry and is held on
+  /// return; it is released while blocked.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu, pred);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_COMMON_MUTEX_H_

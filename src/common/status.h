@@ -27,36 +27,36 @@ const char* StatusCodeName(StatusCode code);
 
 /// Outcome of an operation: a code plus an optional message. Cheap to copy
 /// in the OK case (no allocation).
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
-  static Status OK() { return Status(); }
-  static Status NotFound(std::string msg = "") {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status NotFound(std::string msg = "") {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status InvalidArgument(std::string msg = "") {
+  [[nodiscard]] static Status InvalidArgument(std::string msg = "") {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status Aborted(std::string msg = "") {
+  [[nodiscard]] static Status Aborted(std::string msg = "") {
     return Status(StatusCode::kAborted, std::move(msg));
   }
-  static Status Rejected(std::string msg = "") {
+  [[nodiscard]] static Status Rejected(std::string msg = "") {
     return Status(StatusCode::kRejected, std::move(msg));
   }
-  static Status TimedOut(std::string msg = "") {
+  [[nodiscard]] static Status TimedOut(std::string msg = "") {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
-  static Status Unavailable(std::string msg = "") {
+  [[nodiscard]] static Status Unavailable(std::string msg = "") {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg = "") {
+  [[nodiscard]] static Status AlreadyExists(std::string msg = "") {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg = "") {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg = "") {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg = "") {
+  [[nodiscard]] static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -84,7 +84,7 @@ class Status {
 
 /// A value or an error. Minimal Result type; access to value() requires ok().
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {}                 // NOLINT

@@ -1,0 +1,77 @@
+// Clang thread-safety-analysis (TSA) attribute macros.
+//
+// These compile to nothing on GCC/MSVC and to __attribute__((...)) on Clang,
+// where -Wthread-safety (enabled as -Werror by the top-level CMakeLists for
+// Clang builds) turns the annotations into compile-time lock-discipline
+// errors: reads of a GUARDED_BY member without holding its mutex, calls to a
+// REQUIRES function without the capability, mismatched ACQUIRE/RELEASE, etc.
+//
+// Use planet::Mutex / planet::MutexLock (common/mutex.h) rather than the raw
+// std primitives: the std types carry no capability attributes, so the
+// analysis cannot see them.
+#ifndef PLANET_COMMON_THREAD_ANNOTATIONS_H_
+#define PLANET_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define PLANET_TSA_ATTR_(x) __attribute__((x))
+#else
+#define PLANET_TSA_ATTR_(x)  // no-op on non-Clang compilers
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define CAPABILITY(x) PLANET_TSA_ATTR_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY PLANET_TSA_ATTR_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define GUARDED_BY(x) PLANET_TSA_ATTR_(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member is protected.
+#define PT_GUARDED_BY(x) PLANET_TSA_ATTR_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define ACQUIRED_BEFORE(...) PLANET_TSA_ATTR_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) PLANET_TSA_ATTR_(acquired_after(__VA_ARGS__))
+
+/// The function must be called with the capability held (and does not
+/// release it).
+#define REQUIRES(...) PLANET_TSA_ATTR_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PLANET_TSA_ATTR_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the capability.
+#define ACQUIRE(...) PLANET_TSA_ATTR_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PLANET_TSA_ATTR_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) PLANET_TSA_ATTR_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PLANET_TSA_ATTR_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  PLANET_TSA_ATTR_(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  PLANET_TSA_ATTR_(try_acquire_capability(ret, __VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(ret, ...) \
+  PLANET_TSA_ATTR_(try_acquire_shared_capability(ret, __VA_ARGS__))
+
+/// The function must be called WITHOUT the capability held.
+#define EXCLUDES(...) PLANET_TSA_ATTR_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define ASSERT_CAPABILITY(x) PLANET_TSA_ATTR_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  PLANET_TSA_ATTR_(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) PLANET_TSA_ATTR_(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from analysis (its declared
+/// contract — REQUIRES etc. — is still enforced at call sites). Use only
+/// where the analysis cannot follow the code, e.g. condition-variable waits
+/// that release and re-acquire internally.
+#define NO_THREAD_SAFETY_ANALYSIS PLANET_TSA_ATTR_(no_thread_safety_analysis)
+
+#endif  // PLANET_COMMON_THREAD_ANNOTATIONS_H_

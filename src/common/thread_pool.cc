@@ -17,27 +17,29 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Drain: workers keep popping until the queue is empty, then exit.
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> job) {
   PLANET_CHECK(job != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PLANET_CHECK(!stop_);
     queue_.push_back(std::move(job));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  done_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
   if (first_error_) {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
     std::rethrow_exception(err);
@@ -48,8 +50,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_,
+                    [this]() REQUIRES(mu_) { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -62,10 +65,10 @@ void ThreadPool::WorkerLoop() {
       err = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (err && !first_error_) first_error_ = err;
       --active_;
-      if (queue_.empty() && active_ == 0) done_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) done_cv_.NotifyAll();
     }
   }
 }

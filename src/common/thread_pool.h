@@ -11,12 +11,13 @@
 #ifndef PLANET_COMMON_THREAD_POOL_H_
 #define PLANET_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace planet {
 
@@ -32,25 +33,26 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues one job. Must not be called after the destructor has begun.
-  void Submit(std::function<void()> job);
+  /// Safe to call concurrently from multiple threads.
+  void Submit(std::function<void()> job) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no job is running. If any job threw,
   /// rethrows the first exception (and clears it, so the pool stays usable).
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< signals workers: job or stop
-  std::condition_variable done_cv_;   ///< signals Wait(): all jobs finished
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  int active_ = 0;       ///< jobs currently executing
-  bool stop_ = false;    ///< destructor has begun
-  std::exception_ptr first_error_;
+  Mutex mu_;
+  CondVar work_cv_;   ///< signals workers: job or stop
+  CondVar done_cv_;   ///< signals Wait(): all jobs finished
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  ///< written only by the constructor
+  int active_ GUARDED_BY(mu_) = 0;    ///< jobs currently executing
+  bool stop_ GUARDED_BY(mu_) = false; ///< destructor has begun
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
 };
 
 }  // namespace planet

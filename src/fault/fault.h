@@ -70,7 +70,7 @@ class FaultSchedule {
 
   /// Sanity checks against a cluster size: DCs in range, restarts paired
   /// with a preceding crash (and vice versa), crash durations well formed.
-  Status Validate(int num_dcs) const;
+  [[nodiscard]] Status Validate(int num_dcs) const;
 
   /// Parses a flag-style schedule: comma- or semicolon-separated events
   ///   kind@SECONDS:DC[:EXTRA_MS]

@@ -62,6 +62,7 @@ FaultActions Cluster::MakeFaultActions() {
 }
 
 void Cluster::SeedKey(Key key, Value value) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   for (auto& r : replicas_) r->store().SeedValue(key, value);
   if (recorder_ != nullptr) {
     recorder_->RecordSeed(key, replicas_.front()->store().Read(key).version,
@@ -70,11 +71,13 @@ void Cluster::SeedKey(Key key, Value value) {
 }
 
 void Cluster::SetHistoryRecorder(HistoryRecorder* recorder) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   recorder_ = recorder;
   for (auto& c : clients_) c->SetHistoryRecorder(recorder);
 }
 
 std::vector<ReplicaState> Cluster::LiveReplicaStates() const {
+  PLANET_DCHECK_OWNED(thread_checker_);
   std::vector<ReplicaState> states;
   for (const auto& r : replicas_) {
     if (r->crashed()) continue;
@@ -87,16 +90,19 @@ std::vector<ReplicaState> Cluster::LiveReplicaStates() const {
 }
 
 void Cluster::SeedBounds(Key key, ValueBounds bounds) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   for (auto& r : replicas_) r->store().SetBounds(key, bounds);
 }
 
 void Cluster::PartitionDc(DcId dc) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   for (DcId other = 0; other < options_.mdcc.num_dcs; ++other) {
     if (other != dc) net_->SetPartitioned(dc, other, true);
   }
 }
 
 void Cluster::HealDc(DcId dc) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   for (DcId other = 0; other < options_.mdcc.num_dcs; ++other) {
     if (other != dc) net_->SetPartitioned(dc, other, false);
   }
@@ -112,10 +118,12 @@ void Cluster::HealDc(DcId dc) {
 }
 
 void Cluster::CrashReplica(DcId dc) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   replicas_[static_cast<size_t>(dc)]->Crash();
 }
 
 void Cluster::RestartReplica(DcId dc) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   // Restart runs WAL replay + an immediate sync; schedule one more sync a
   // recovery period later for commits that race with the first one.
   Replica* replica = replicas_[static_cast<size_t>(dc)].get();
@@ -128,13 +136,17 @@ void Cluster::RestartReplica(DcId dc) {
 }
 
 void Cluster::SpikeDc(DcId dc, Duration extra, double sigma) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   DcDegradation spike;
   spike.extra_median = extra;
   spike.extra_sigma = sigma;
   net_->SetDegradation(dc, spike);
 }
 
-void Cluster::ClearSpikeDc(DcId dc) { net_->ClearDegradation(dc); }
+void Cluster::ClearSpikeDc(DcId dc) {
+  PLANET_DCHECK_OWNED(thread_checker_);
+  net_->ClearDegradation(dc);
+}
 
 size_t Cluster::TotalPending() const {
   size_t total = 0;
@@ -143,6 +155,7 @@ size_t Cluster::TotalPending() const {
 }
 
 bool Cluster::ReplicasConverged() const {
+  PLANET_DCHECK_OWNED(thread_checker_);
   if (TotalPending() != 0) return false;
   for (const auto& r : replicas_) {
     if (r->DeferredCount() != 0) return false;
@@ -187,22 +200,26 @@ TpcCluster::TpcCluster(const TpcClusterOptions& options) : options_(options) {
 }
 
 void TpcCluster::PartitionDc(DcId dc) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   for (DcId other = 0; other < options_.tpc.num_dcs; ++other) {
     if (other != dc) net_->SetPartitioned(dc, other, true);
   }
 }
 
 void TpcCluster::HealDc(DcId dc) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   for (DcId other = 0; other < options_.tpc.num_dcs; ++other) {
     if (other != dc) net_->SetPartitioned(dc, other, false);
   }
 }
 
 void TpcCluster::CrashNode(DcId dc) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   nodes_[static_cast<size_t>(dc)]->Crash();
 }
 
 void TpcCluster::RestartNode(DcId dc) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   nodes_[static_cast<size_t>(dc)]->Restart();
 }
 
@@ -223,6 +240,7 @@ FaultActions TpcCluster::MakeFaultActions() {
 }
 
 void TpcCluster::SeedKey(Key key, Value value) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   for (auto& node : nodes_) node->store().SeedValue(key, value);
   if (recorder_ != nullptr) {
     recorder_->RecordSeed(key, nodes_.front()->store().Read(key).version,
@@ -231,11 +249,13 @@ void TpcCluster::SeedKey(Key key, Value value) {
 }
 
 void TpcCluster::SetHistoryRecorder(HistoryRecorder* recorder) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   recorder_ = recorder;
   for (auto& c : clients_) c->SetHistoryRecorder(recorder);
 }
 
 std::vector<ReplicaState> TpcCluster::LiveReplicaStates() const {
+  PLANET_DCHECK_OWNED(thread_checker_);
   std::vector<ReplicaState> states;
   for (const auto& node : nodes_) {
     if (node->crashed()) continue;
@@ -248,11 +268,24 @@ std::vector<ReplicaState> TpcCluster::LiveReplicaStates() const {
 }
 
 bool TpcCluster::ReplicasConverged() const {
+  PLANET_DCHECK_OWNED(thread_checker_);
   auto reference = nodes_.front()->store().Snapshot();
   for (size_t i = 1; i < nodes_.size(); ++i) {
     if (nodes_[i]->store().Snapshot() != reference) return false;
   }
   return true;
+}
+
+void Cluster::DetachFromThread() {
+  thread_checker_.DetachFromThread();
+  sim_.DetachFromThread();
+  for (auto& r : replicas_) r->store().DetachFromThread();
+}
+
+void TpcCluster::DetachFromThread() {
+  thread_checker_.DetachFromThread();
+  sim_.DetachFromThread();
+  for (auto& node : nodes_) node->store().DetachFromThread();
 }
 
 }  // namespace planet

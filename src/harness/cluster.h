@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_checker.h"
+
 #include "baseline/tpc.h"
 #include "check/convergence.h"
 #include "check/history.h"
@@ -35,6 +37,10 @@ struct ClusterOptions {
 
 /// A fully wired MDCC + PLANET deployment. Clients are laid out round-robin:
 /// client index i lives in DC (i % num_dcs).
+///
+/// Single-owner, not thread safe: one sweep point = one Cluster = one
+/// thread. Enforced in PLANET_THREAD_CHECKS builds (the underlying
+/// Simulator and Stores carry the same assertion).
 class Cluster {
  public:
   explicit Cluster(const ClusterOptions& options);
@@ -89,7 +95,10 @@ class Cluster {
   FaultActions MakeFaultActions();
 
   /// Runs the simulation until the event queue is empty.
-  void Drain() { sim_.Run(); }
+  void Drain() {
+    PLANET_DCHECK_OWNED(thread_checker_);
+    sim_.Run();
+  }
 
   /// True iff every replica holds the identical committed state and no
   /// pending or deferred options remain (the atomicity/convergence audit).
@@ -99,7 +108,11 @@ class Cluster {
   /// Fresh deterministic RNG stream for workload use.
   Rng ForkRng(uint64_t tag) const { return Rng(options_.seed).Fork(tag); }
 
+  /// Releases single-owner thread affinity (ownership transfer).
+  void DetachFromThread();
+
  private:
+  ThreadChecker thread_checker_;
   ClusterOptions options_;
   Simulator sim_;
   std::unique_ptr<Network> net_;
@@ -121,7 +134,8 @@ struct TpcClusterOptions {
   FaultSchedule faults;
 };
 
-/// A fully wired 2PC deployment (same WAN, same layout).
+/// A fully wired 2PC deployment (same WAN, same layout). Single-owner like
+/// Cluster.
 class TpcCluster {
  public:
   explicit TpcCluster(const TpcClusterOptions& options);
@@ -133,7 +147,10 @@ class TpcCluster {
   TpcClient* client(int i) { return clients_[static_cast<size_t>(i)].get(); }
 
   void SeedKey(Key key, Value value);
-  void Drain() { sim_.Run(); }
+  void Drain() {
+    PLANET_DCHECK_OWNED(thread_checker_);
+    sim_.Run();
+  }
   bool ReplicasConverged() const;
 
   /// History recording and oracle input, mirroring Cluster.
@@ -149,7 +166,11 @@ class TpcCluster {
 
   Rng ForkRng(uint64_t tag) const { return Rng(options_.seed).Fork(tag); }
 
+  /// Releases single-owner thread affinity (ownership transfer).
+  void DetachFromThread();
+
  private:
+  ThreadChecker thread_checker_;
   TpcClusterOptions options_;
   Simulator sim_;
   std::unique_ptr<Network> net_;

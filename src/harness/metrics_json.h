@@ -89,7 +89,7 @@ class MetricsJson {
   std::string ToJson() const;
 
   /// Writes ToJson() to `path` (plus a trailing newline).
-  Status WriteFile(const std::string& path) const;
+  [[nodiscard]] Status WriteFile(const std::string& path) const;
 
  private:
   std::string bench_id_;

@@ -18,6 +18,7 @@
 #define PLANET_MDCC_CLIENT_H_
 
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -109,10 +110,10 @@ class Client : public Node {
 
   /// Buffers a physical write. Requires a prior Read of `key` in this
   /// transaction (read-modify-write); otherwise kFailedPrecondition.
-  Status Write(TxnId txn, Key key, Value value);
+  [[nodiscard]] Status Write(TxnId txn, Key key, Value value);
 
   /// Buffers a commutative delta (no prior read required).
-  Status Add(TxnId txn, Key key, Value delta);
+  [[nodiscard]] Status Add(TxnId txn, Key key, Value delta);
 
   /// Starts commit processing; `cb` fires exactly once with the outcome:
   /// OK, Aborted (conflict), or Unavailable (timeout / partition).
@@ -174,8 +175,11 @@ class Client : public Node {
  private:
   struct TxnState {
     TxnView view;
-    std::unordered_map<Key, Version> read_versions;
-    std::unordered_map<Key, WriteOption> writes;
+    // Ordered: these are iterated when proposing and committing, and the
+    // iteration order decides message order on the wire — std::map keeps
+    // that order platform-independent (hash order is not).
+    std::map<Key, Version> read_versions;
+    std::map<Key, WriteOption> writes;
     CommitCallback commit_cb;
     TxnObserver observer;
     EventId timeout_event = kInvalidEventId;

@@ -352,10 +352,18 @@ void Replica::RecoveryScan() {
   if (pending_since_.empty()) return;  // nothing to watch; scan stops
 
   const SimTime overdue = Now() - config_.txn_timeout;
+  // pending_since_ is a hash map: pick the overdue set first and visit it in
+  // txn order, so the resolve traffic (and with it the whole downstream event
+  // schedule) is identical across platforms, not just across runs.
+  std::vector<TxnId> overdue_txns;
   for (const auto& [txn, pending] : pending_since_) {
     if (pending.since > overdue) continue;
     if (Now() < pending.next_resolve) continue;  // backing off
     if (resolve_inflight_.count(txn) > 0) continue;
+    overdue_txns.push_back(txn);
+  }
+  std::sort(overdue_txns.begin(), overdue_txns.end());
+  for (TxnId txn : overdue_txns) {
     // Ask every peer for the decision. First "known" reply resolves; if all
     // reply unknown, the query is retried with exponential backoff. Replies
     // can be lost to partitions, so the query itself expires: after the

@@ -104,8 +104,8 @@ class PlanetClient {
 
   // -- Handle backends (called by PlanetTransaction) ---------------------
   void Read(TxnId txn, Key key, std::function<void(Status, Value)> cb);
-  Status Write(TxnId txn, Key key, Value value);
-  Status Add(TxnId txn, Key key, Value delta);
+  [[nodiscard]] Status Write(TxnId txn, Key key, Value value);
+  [[nodiscard]] Status Add(TxnId txn, Key key, Value delta);
   void SetOnProgress(TxnId txn, std::function<void(const TxnProgress&)> cb);
   void SetOnStage(TxnId txn, std::function<void(PlanetStage)> cb);
   void SetOnFinal(TxnId txn, std::function<void(Status)> cb);

@@ -84,10 +84,10 @@ class PlanetTransaction {
   void Read(Key key, std::function<void(Status, Value)> cb);
 
   /// Buffers a physical write (requires a prior Read of `key`).
-  Status Write(Key key, Value value);
+  [[nodiscard]] Status Write(Key key, Value value);
 
   /// Buffers a commutative delta (hot-counter updates; experiment F7).
-  Status Add(Key key, Value delta);
+  [[nodiscard]] Status Add(Key key, Value delta);
 
   /// Fired on every vote / stage change while the commit is in flight.
   PlanetTransaction& OnProgress(std::function<void(const TxnProgress&)> cb);

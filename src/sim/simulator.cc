@@ -10,6 +10,7 @@ EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
 }
 
 EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   PLANET_CHECK_MSG(when >= now_, "when=" << when << " now=" << now_);
   EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(fn)});
@@ -18,11 +19,13 @@ EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
 }
 
 bool Simulator::Cancel(EventId id) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   // Only live (scheduled, not yet fired) events can be cancelled.
   return live_.erase(id) > 0;
 }
 
 bool Simulator::Step() {
+  PLANET_DCHECK_OWNED(thread_checker_);
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();

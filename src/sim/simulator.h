@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_checker.h"
 #include "common/types.h"
 
 namespace planet {
@@ -23,10 +24,15 @@ namespace planet {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
-/// The event loop. Not thread safe (by design: determinism).
+/// The event loop. Not thread safe (by design: determinism); enforced in
+/// PLANET_THREAD_CHECKS builds — scheduling or running from a second thread
+/// aborts with a single-owner violation instead of racing silently.
 class Simulator {
  public:
   Simulator();
+
+  /// Releases single-owner thread affinity (ownership transfer).
+  void DetachFromThread() { thread_checker_.DetachFromThread(); }
 
   /// Current simulated time in microseconds.
   SimTime Now() const { return now_; }
@@ -75,6 +81,7 @@ class Simulator {
     }
   };
 
+  ThreadChecker thread_checker_;
   SimTime now_;
   EventId next_id_;
   uint64_t events_processed_;

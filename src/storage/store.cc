@@ -27,12 +27,14 @@ const Store::Record* Store::Find(Key key) const {
 Store::Record& Store::FindOrCreate(Key key) { return records_[key]; }
 
 RecordView Store::Read(Key key) const {
+  PLANET_DCHECK_OWNED(thread_checker_);
   const Record* rec = Find(key);
   if (rec == nullptr) return RecordView{};
   return RecordView{rec->version, rec->value};
 }
 
 void Store::SeedValue(Key key, Value value) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   Record& rec = FindOrCreate(key);
   ++rec.version;
   rec.value = value;
@@ -43,12 +45,14 @@ void Store::SeedValue(Key key, Value value) {
 }
 
 void Store::SetBounds(Key key, ValueBounds bounds) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   Record& rec = FindOrCreate(key);
   rec.bounds = bounds;
   rec.has_bounds = true;
 }
 
 Status Store::CheckOption(const WriteOption& option) const {
+  PLANET_DCHECK_OWNED(thread_checker_);
   static const Record kEmpty{};
   const Record* found = Find(option.key);
   const Record& rec = found != nullptr ? *found : kEmpty;
@@ -91,6 +95,7 @@ Status Store::CheckOption(const WriteOption& option) const {
 }
 
 void Store::AcceptOption(const WriteOption& option) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   Status st = CheckOption(option);
   PLANET_CHECK_MSG(st.ok(), option.ToString() << " -> " << st.ToString());
   Record& rec = FindOrCreate(option.key);
@@ -103,6 +108,7 @@ void Store::AcceptOption(const WriteOption& option) {
 }
 
 void Store::RemoveOption(TxnId txn, Key key) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   auto it = records_.find(key);
   if (it == records_.end()) return;
   std::erase_if(it->second.pending,
@@ -129,6 +135,7 @@ void Store::ApplyPayload(Record& rec, const WriteOption& option) {
 }
 
 bool Store::ApplyOption(TxnId txn, Key key) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   auto it = records_.find(key);
   if (it == records_.end()) return false;
   Record& rec = it->second;
@@ -143,6 +150,7 @@ bool Store::ApplyOption(TxnId txn, Key key) {
 }
 
 void Store::LearnOption(const WriteOption& option) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   Record& rec = FindOrCreate(option.key);
   std::erase_if(rec.pending, [&](const WriteOption& p) {
     return p.txn == option.txn;
@@ -162,16 +170,22 @@ std::vector<WriteOption> Store::PendingFor(Key key) const {
 }
 
 std::vector<SyncEntry> Store::ExportState() const {
+  PLANET_DCHECK_OWNED(thread_checker_);
   std::vector<SyncEntry> state;
   state.reserve(records_.size());
   for (const auto& [key, rec] : records_) {
     state.push_back(SyncEntry{key, rec.version, rec.value,
                               rec.comm_txns.size(), rec.comm_txns});
   }
+  // records_ is a hash map: sort so sync replies (and anything else built on
+  // the export) are identical across platforms, not just across runs.
+  std::sort(state.begin(), state.end(),
+            [](const SyncEntry& a, const SyncEntry& b) { return a.key < b.key; });
   return state;
 }
 
 bool Store::AdoptRecord(const SyncEntry& entry) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   Record& rec = FindOrCreate(entry.key);
   bool fresher = entry.version > rec.version ||
                  (entry.version == rec.version &&
@@ -188,6 +202,7 @@ bool Store::AdoptRecord(const SyncEntry& entry) {
 }
 
 void Store::RecoverFromWal() {
+  PLANET_DCHECK_OWNED(thread_checker_);
   // Bounds are catalog metadata installed at cluster build time; carry them
   // across the wipe.
   std::unordered_map<Key, ValueBounds> bounds;
@@ -220,11 +235,13 @@ void Store::RecoverFromWal() {
 }
 
 void Store::RestoreFromLog(std::vector<WalEntry> entries) {
+  PLANET_DCHECK_OWNED(thread_checker_);
   wal_ = std::move(entries);
   RecoverFromWal();
 }
 
 std::map<Key, RecordView> Store::Snapshot() const {
+  PLANET_DCHECK_OWNED(thread_checker_);
   std::map<Key, RecordView> snapshot;
   for (const auto& [key, rec] : records_) {
     // Records still in their logical default state (never committed to) are

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_checker.h"
 #include "common/types.h"
 #include "storage/option.h"
 
@@ -60,10 +61,16 @@ struct SyncEntry {
   std::vector<TxnId> comm_txns;
 };
 
-/// The store. Single-owner (one per replica node), not thread safe.
+/// The store. Single-owner (one per replica node), not thread safe — and
+/// enforced as such: in PLANET_THREAD_CHECKS builds (Debug / sanitizers)
+/// every protocol entry point asserts it runs on the thread that first used
+/// this store. DetachFromThread() releases ownership for explicit handoff.
 class Store {
  public:
   Store() = default;
+
+  /// Releases single-owner thread affinity (ownership transfer).
+  void DetachFromThread() { thread_checker_.DetachFromThread(); }
 
   /// Committed view of a key (version 0 / value 0 if never written).
   RecordView Read(Key key) const;
@@ -78,7 +85,7 @@ class Store {
   /// Would `option` be accepted right now? OK, or the rejection reason:
   ///  * kAborted          — stale read version (physical) / bounds violated
   ///  * kFailedPrecondition — conflicts with a pending option of another txn
-  Status CheckOption(const WriteOption& option) const;
+  [[nodiscard]] Status CheckOption(const WriteOption& option) const;
 
   /// Accepts `option` (appends to the pending list). Idempotent per
   /// (txn, key): re-accepting replaces the previous pending entry.
@@ -165,6 +172,7 @@ class Store {
   Record& FindOrCreate(Key key);
   void ApplyPayload(Record& rec, const WriteOption& option);
 
+  ThreadChecker thread_checker_;
   std::unordered_map<Key, Record> records_;
   std::vector<WalEntry> wal_;
   uint64_t accepts_ = 0;

@@ -65,7 +65,9 @@ TEST(HistoryRecorder, RecordsEveryDecidedMdccTransaction) {
   // rejections don't exist on the raw MDCC path).
   EXPECT_EQ(h.txns().size(), metrics.attempted());
   EXPECT_EQ(h.CommittedCount(), metrics.committed);
-  EXPECT_GT(metrics.committed, 100u);
+  // Load floor only (the exact count is schedule-dependent: clients now
+  // propose keys in sorted order, which costs some fast-path commits).
+  EXPECT_GT(metrics.committed, 50u);
 
   size_t committed_with_writes = 0;
   for (const RecordedTxn& t : h.txns()) {

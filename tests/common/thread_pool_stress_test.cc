@@ -1,0 +1,151 @@
+// Stress tests for the threaded harness, written to run under TSan (the CI
+// tsan job) with enough contention to surface ordering bugs: concurrent
+// submitters, pool reuse across Wait() rounds, exception delivery under
+// load, and sweep-vs-serial equivalence at scale. Also covers the
+// ThreadChecker single-owner assertion that backs PLANET_DCHECK_OWNED.
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_checker.h"
+#include "common/thread_pool.h"
+#include "harness/sweep.h"
+#include "storage/store.h"
+
+namespace planet {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmittersAllJobsRunExactlyOnce) {
+  constexpr int kSubmitters = 8;
+  constexpr int kJobsPerSubmitter = 200;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> slots(kSubmitters * kJobsPerSubmitter);
+  for (auto& s : slots) s.store(0);
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &slots, t] {
+      for (int j = 0; j < kJobsPerSubmitter; ++j) {
+        int slot = t * kJobsPerSubmitter + j;
+        pool.Submit([&slots, slot] {
+          slots[static_cast<size_t>(slot)].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.Wait();
+
+  for (const auto& s : slots) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolStress, ReuseAcrossManyWaitRounds) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int j = 0; j < 20; ++j) {
+      pool.Submit([&total] { total.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(total.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolStress, FirstExceptionDeliveredUnderLoad) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int j = 0; j < 100; ++j) {
+    bool thrower = (j == 37);
+    pool.Submit([&ran, thrower] {
+      ran.fetch_add(1);
+      if (thrower) throw std::runtime_error("job 37");
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 100);  // remaining jobs still ran to completion
+  // The error was consumed: the pool stays usable.
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 101);
+}
+
+TEST(SweepStress, ThreadedRunMatchesSerialAtScale) {
+  constexpr int kPoints = 200;
+  std::vector<std::function<uint64_t()>> points;
+  points.reserve(kPoints);
+  for (int i = 0; i < kPoints; ++i) {
+    points.push_back([i]() -> uint64_t {
+      // Deterministic per-point work with data-dependent length.
+      uint64_t acc = static_cast<uint64_t>(i);
+      for (int k = 0; k < 1000 + (i % 7) * 500; ++k) {
+        acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+      }
+      return acc;
+    });
+  }
+
+  SweepOptions serial;
+  serial.threads = 1;
+  auto expected = SweepRunner(serial).Run(points);
+
+  SweepOptions threaded;
+  threaded.threads = 8;
+  auto actual = SweepRunner(threaded).Run(points);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "point " << i;
+  }
+}
+
+TEST(ThreadCheckerTest, FirstUseClaimsAndSameThreadPasses) {
+  ThreadChecker checker;
+  EXPECT_TRUE(checker.CalledOnOwnerThread());
+  EXPECT_TRUE(checker.CalledOnOwnerThread());
+}
+
+TEST(ThreadCheckerTest, OtherThreadFailsUntilDetached) {
+  ThreadChecker checker;
+  EXPECT_TRUE(checker.CalledOnOwnerThread());
+  bool other_ok = true;
+  std::thread t([&] { other_ok = checker.CalledOnOwnerThread(); });
+  t.join();
+  EXPECT_FALSE(other_ok);
+
+  checker.DetachFromThread();
+  std::thread t2([&] { other_ok = checker.CalledOnOwnerThread(); });
+  t2.join();
+  EXPECT_TRUE(other_ok);
+  // t2 owns it now; this thread is the intruder.
+  EXPECT_FALSE(checker.CalledOnOwnerThread());
+}
+
+TEST(ThreadCheckerTest, ConstructionDoesNotClaimSoHandoffWorks) {
+  auto store = std::make_unique<Store>();  // built on the main thread
+  RecordView view;
+  std::thread t([&] { view = store->Read(1); });  // first use: worker claims
+  t.join();
+  EXPECT_EQ(view.version, 0u);
+}
+
+#if defined(PLANET_THREAD_CHECKS)
+TEST(ThreadCheckerDeathTest, CrossThreadStoreUseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Store store;
+  store.SeedValue(1, 42);  // main thread claims the store
+  EXPECT_DEATH(
+      {
+        std::thread t([&store] { store.SeedValue(2, 7); });
+        t.join();
+      },
+      "single-owner");
+}
+#endif  // PLANET_THREAD_CHECKS
+
+}  // namespace
+}  // namespace planet

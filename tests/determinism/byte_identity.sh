@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the given planetlab command line twice, exporting --json each time,
+# and fails unless the two documents are byte-identical. This is the
+# executable form of the determinism contract: one seed fixes every byte of
+# the exported metrics, independent of hash order, address layout, or
+# anything else that varies between processes.
+#
+# Usage: byte_identity.sh PLANETLAB_BINARY [planetlab args...]
+set -euo pipefail
+
+bin=$1
+shift
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+"$bin" "$@" --json "$out/run1.json" >/dev/null
+"$bin" "$@" --json "$out/run2.json" >/dev/null
+
+if ! cmp -s "$out/run1.json" "$out/run2.json"; then
+  echo "byte_identity: repeated runs diverged:" >&2
+  diff -u "$out/run1.json" "$out/run2.json" >&2 || true
+  exit 1
+fi
+echo "byte_identity: OK ($(wc -c < "$out/run1.json") bytes identical)"

@@ -1,0 +1,18 @@
+// Fixture: every construct here must trip the blocking-primitive rule.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace planet_lint_fixture {
+
+std::condition_variable cv;
+std::mutex mu;
+
+void Bad() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock);
+}
+
+}  // namespace planet_lint_fixture

@@ -1,0 +1,19 @@
+// Fixture: idiomatic simulated-world code — must produce zero findings.
+// Mentions of rand() or steady_clock in comments, and "system_clock" inside
+// string literals, are not code and must not be flagged.
+#include <cstdio>
+#include <map>
+
+namespace planet_lint_fixture {
+
+const char* kDoc = "wall time (system_clock) is banned here";
+
+void EmitSorted() {
+  std::map<int, double> metrics;  // ordered: deterministic emission
+  metrics[1] = 0.5;
+  for (const auto& [key, value] : metrics) {
+    std::printf("%d %f %s\n", key, value, kDoc);
+  }
+}
+
+}  // namespace planet_lint_fixture

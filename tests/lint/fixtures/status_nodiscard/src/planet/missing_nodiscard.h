@@ -1,0 +1,21 @@
+// Fixture: Status/Result declarations without [[nodiscard]] must trip the
+// status-nodiscard rule.
+#ifndef PLANET_LINT_FIXTURE_MISSING_NODISCARD_H_
+#define PLANET_LINT_FIXTURE_MISSING_NODISCARD_H_
+
+namespace planet {
+
+class Status;
+template <typename T>
+class Result;
+
+class FixtureApi {
+ public:
+  Status Commit(int txn);
+  Result<int> ReadValue(int key);
+  [[nodiscard]] Status AnnotatedFine(int txn);
+};
+
+}  // namespace planet
+
+#endif  // PLANET_LINT_FIXTURE_MISSING_NODISCARD_H_

@@ -1,0 +1,10 @@
+// Fixture: whole-file suppression.
+// planet-lint: allow-file(wall-clock)
+#include <chrono>
+
+namespace planet_lint_fixture {
+
+long A() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+long B() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+
+}  // namespace planet_lint_fixture

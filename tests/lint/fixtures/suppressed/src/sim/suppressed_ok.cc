@@ -1,0 +1,18 @@
+// Fixture: the same violations as the bad fixtures, each silenced with a
+// per-rule suppression comment — the file must lint clean.
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace planet_lint_fixture {
+
+long AllSuppressed() {
+  // planet-lint: allow(wall-clock)
+  long a = std::chrono::steady_clock::now().time_since_epoch().count();
+  long b = rand();  // planet-lint: allow(unseeded-random)
+  // planet-lint: allow(blocking-primitive)
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return a + b;
+}
+
+}  // namespace planet_lint_fixture

@@ -1,0 +1,23 @@
+// Fixture: iterating an unordered container in an emit context must trip
+// the unordered-output rule (both range-for and explicit .begin()).
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace planet_lint_fixture {
+
+using LabelSet = std::unordered_set<std::string>;
+
+void EmitBad() {
+  std::unordered_map<int, double> metrics;
+  LabelSet labels;
+  for (const auto& [key, value] : metrics) {
+    std::printf("%d %f\n", key, value);
+  }
+  for (auto it = labels.begin(); it != labels.end(); ++it) {
+    std::printf("%s\n", it->c_str());
+  }
+}
+
+}  // namespace planet_lint_fixture

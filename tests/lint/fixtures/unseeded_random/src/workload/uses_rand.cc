@@ -1,0 +1,16 @@
+// Fixture: every line here must trip the unseeded-random rule.
+#include <cstdlib>
+#include <random>
+
+namespace planet_lint_fixture {
+
+int Bad() {
+  srand(7);
+  int a = rand();
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::default_random_engine eng;
+  return a + static_cast<int>(gen()) + static_cast<int>(eng());
+}
+
+}  // namespace planet_lint_fixture

@@ -1,0 +1,16 @@
+// Fixture: every line here must trip the wall-clock rule.
+#include <chrono>
+#include <ctime>
+
+namespace planet_lint_fixture {
+
+long Bad() {
+  auto a = std::chrono::system_clock::now().time_since_epoch().count();
+  auto b = std::chrono::steady_clock::now().time_since_epoch().count();
+  auto c = std::chrono::high_resolution_clock::now().time_since_epoch().count();
+  long d = static_cast<long>(time(nullptr));
+  long e = static_cast<long>(clock());
+  return a + b + c + d + e;
+}
+
+}  // namespace planet_lint_fixture

@@ -2,10 +2,14 @@
 # Tier-1 check: configure, build, and run the full ctest suite.
 #
 # Usage:
-#   tools/run_tier1.sh                 # plain RelWithDebInfo build in build/
-#   tools/run_tier1.sh --sanitize      # ASan+UBSan build in build-san/
-#   tools/run_tier1.sh --sanitize thread   # any -fsanitize= spec
+#   tools/run_tier1.sh                        # plain RelWithDebInfo in build/
+#   tools/run_tier1.sh --sanitize             # ASan+UBSan in build-san/
+#   tools/run_tier1.sh --sanitize thread      # TSan in build-tsan/
+#   tools/run_tier1.sh --sanitize thread --filter 'thread|sweep'
+#                                             # TSan, threaded tests only
 #
+# --filter RE restricts ctest to tests matching RE (ctest -R). Sanitizer
+# builds also enable PLANET_THREAD_CHECKS (runtime single-owner assertions).
 # Exits non-zero if configuration, compilation, or any test fails.
 set -euo pipefail
 
@@ -13,9 +17,36 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 SANITIZE=""
-if [[ "${1:-}" == "--sanitize" ]]; then
-  SANITIZE="${2:-address,undefined}"
-  BUILD_DIR=build-san
+FILTER=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --sanitize)
+      SANITIZE="address,undefined"
+      if [[ $# -gt 1 && "$2" != --* ]]; then
+        SANITIZE="$2"
+        shift
+      fi
+      ;;
+    --filter)
+      FILTER="$2"
+      shift
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+if [[ -n "$SANITIZE" ]]; then
+  # One build tree per sanitizer family so switching specs never links
+  # against stale instrumented objects.
+  if [[ "$SANITIZE" == "thread" ]]; then
+    BUILD_DIR=build-tsan
+  else
+    BUILD_DIR=build-san
+  fi
 fi
 
 CMAKE_ARGS=(-B "$BUILD_DIR" -S .)
@@ -23,6 +54,11 @@ if [[ -n "$SANITIZE" ]]; then
   CMAKE_ARGS+=("-DPLANET_SANITIZE=$SANITIZE")
 fi
 
+CTEST_ARGS=(--output-on-failure -j "$(nproc)")
+if [[ -n "$FILTER" ]]; then
+  CTEST_ARGS+=(-R "$FILTER")
+fi
+
 cmake "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
