@@ -79,6 +79,7 @@ F10Result RunPlanet() {
   result.stack = "planet";
   result.windows.resize(size_t(kWindows));
 
+  bench::PerfStamp perf(cluster.sim());
   std::vector<std::unique_ptr<LoadGenerator>> generators;
   for (int i = 0; i < cluster.num_clients(); ++i) {
     auto gen = std::make_unique<LoadGenerator>(
@@ -95,6 +96,7 @@ F10Result RunPlanet() {
     generators.push_back(std::move(gen));
   }
   cluster.Drain();
+  perf.Stamp(result.all);
 
   for (int i = 0; i < cluster.num_clients(); ++i) {
     result.failovers += cluster.client(i)->failovers();
@@ -122,6 +124,7 @@ F10Result RunTpc() {
   result.stack = "2pc";
   result.windows.resize(size_t(kWindows));
 
+  bench::PerfStamp perf(cluster.sim());
   std::vector<std::unique_ptr<LoadGenerator>> generators;
   for (int i = 0; i < cluster.num_clients(); ++i) {
     auto gen = std::make_unique<LoadGenerator>(
@@ -137,6 +140,7 @@ F10Result RunTpc() {
     generators.push_back(std::move(gen));
   }
   cluster.Drain();
+  perf.Stamp(result.all);
   // 2PC has no anti-entropy: replication the master missed while down is
   // gone for good, so convergence is reported, not asserted.
   result.converged = cluster.ReplicasConverged();

@@ -3,6 +3,7 @@
 #ifndef PLANET_BENCH_BENCH_UTIL_H_
 #define PLANET_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -13,6 +14,30 @@
 namespace planet {
 namespace bench {
 
+/// Stamps a run's wall-clock perf fields (docs/PERFORMANCE.md). Scoped to
+/// one cluster drive: construct before starting the generators, call
+/// Stamp() after Drain(). Wall clocks are fine here — bench/ is host-side
+/// code — but must never leak into simulated-world sources (planet_lint).
+class PerfStamp {
+ public:
+  explicit PerfStamp(const Simulator& sim)
+      : sim_(sim),
+        events_before_(sim.events_processed()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void Stamp(RunMetrics& metrics) const {
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start_;
+    metrics.wall_seconds = wall.count();
+    metrics.events_processed = sim_.events_processed() - events_before_;
+  }
+
+ private:
+  const Simulator& sim_;
+  uint64_t events_before_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Drives `wl` on every PLANET client of `cluster` for `run_time` (simulated)
 /// and returns aggregated metrics. `load` selects closed- vs open-loop.
 inline RunMetrics RunPlanet(Cluster& cluster, const WorkloadConfig& wl,
@@ -20,6 +45,7 @@ inline RunMetrics RunPlanet(Cluster& cluster, const WorkloadConfig& wl,
                             PlanetRunnerPolicy policy = {},
                             LoadGenerator::Options load = {}) {
   RunMetrics metrics;
+  PerfStamp perf(cluster.sim());
   std::vector<std::unique_ptr<LoadGenerator>> generators;
   for (int i = 0; i < cluster.num_clients(); ++i) {
     auto gen = std::make_unique<LoadGenerator>(
@@ -32,6 +58,7 @@ inline RunMetrics RunPlanet(Cluster& cluster, const WorkloadConfig& wl,
     generators.push_back(std::move(gen));
   }
   cluster.Drain();
+  perf.Stamp(metrics);
   return metrics;
 }
 
@@ -40,6 +67,7 @@ inline RunMetrics RunMdcc(Cluster& cluster, const WorkloadConfig& wl,
                           Duration run_time,
                           LoadGenerator::Options load = {}) {
   RunMetrics metrics;
+  PerfStamp perf(cluster.sim());
   std::vector<std::unique_ptr<LoadGenerator>> generators;
   for (int i = 0; i < cluster.num_clients(); ++i) {
     auto gen = std::make_unique<LoadGenerator>(
@@ -51,6 +79,7 @@ inline RunMetrics RunMdcc(Cluster& cluster, const WorkloadConfig& wl,
     generators.push_back(std::move(gen));
   }
   cluster.Drain();
+  perf.Stamp(metrics);
   return metrics;
 }
 
@@ -59,6 +88,7 @@ inline RunMetrics RunTpc(TpcCluster& cluster, const WorkloadConfig& wl,
                          Duration run_time,
                          LoadGenerator::Options load = {}) {
   RunMetrics metrics;
+  PerfStamp perf(cluster.sim());
   std::vector<std::unique_ptr<LoadGenerator>> generators;
   for (int i = 0; i < cluster.num_clients(); ++i) {
     auto gen = std::make_unique<LoadGenerator>(
@@ -70,6 +100,7 @@ inline RunMetrics RunTpc(TpcCluster& cluster, const WorkloadConfig& wl,
     generators.push_back(std::move(gen));
   }
   cluster.Drain();
+  perf.Stamp(metrics);
   return metrics;
 }
 

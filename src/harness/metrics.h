@@ -21,6 +21,15 @@ struct RunMetrics {
   Histogram latency_all;        ///< begin -> definitive outcome (any)
   Histogram user_latency;       ///< begin -> first user notification
 
+  /// Wall-clock cost of producing this run, stamped by the bench drivers
+  /// (bench/bench_util.h) AFTER the simulation drains. 0 means "not
+  /// measured" and suppresses the JSON fields — deterministic tools like
+  /// planetlab must never emit wall time or byte-identity would break.
+  /// Simulated-world code cannot read a wall clock (planet_lint), so these
+  /// are plain data here and only ever written from bench/.
+  double wall_seconds = 0.0;
+  uint64_t events_processed = 0;  ///< simulator events behind this run
+
   void Record(const TxnResult& result) {
     if (result.status.ok()) {
       ++committed;
@@ -47,6 +56,8 @@ struct RunMetrics {
     latency_committed.Merge(other.latency_committed);
     latency_all.Merge(other.latency_all);
     user_latency.Merge(other.user_latency);
+    wall_seconds += other.wall_seconds;
+    events_processed += other.events_processed;
   }
 
   /// A sink suitable for LoadGenerator::SetResultSink.

@@ -126,6 +126,13 @@ MetricsJson::Point& MetricsJson::Point::Metrics(const RunMetrics& m,
   Hist("latency_committed", m.latency_committed);
   Hist("latency_all", m.latency_all);
   Hist("user_latency", m.user_latency);
+  // Perf trajectory fields (docs/PERFORMANCE.md): only when the driver
+  // stamped a wall clock — deterministic exports must not carry wall time.
+  if (m.wall_seconds > 0.0) {
+    Scalar("wall_seconds", m.wall_seconds);
+    Scalar("events_processed", double(m.events_processed));
+    Scalar("events_per_sec", double(m.events_processed) / m.wall_seconds);
+  }
   return *this;
 }
 

@@ -465,10 +465,14 @@ void Client::Decide(TxnState& state, bool commit, Status outcome) {
     for (const OptionProgress& op : state.view.options) {
       options.push_back(op.option);
     }
+    // One shared copy for the whole broadcast instead of a fresh vector
+    // per replica closure (the fan-out is num_dcs wide on every decide).
+    auto shared = std::make_shared<const std::vector<WriteOption>>(
+        std::move(options));
     TxnId txn = state.view.id;
     for (Replica* replica : replicas_) {
-      net_->Send(id_, replica->id(), [replica, txn, commit, options] {
-        replica->HandleVisibility(txn, commit, options);
+      net_->Send(id_, replica->id(), [replica, txn, commit, shared] {
+        replica->HandleVisibility(txn, commit, *shared);
       });
     }
   }

@@ -66,9 +66,8 @@ VoteReply Replica::TryAccept(const WriteOption& option) {
     vote.stale = true;
     return vote;
   }
-  Status st = store_.CheckOption(option);
+  Status st = store_.TryAcceptOption(option);
   if (st.ok()) {
-    store_.AcceptOption(option);
     vote.accepted = true;
     // Track the pending transaction for the resolution protocol.
     auto [it, inserted] = pending_since_.try_emplace(option.txn);
@@ -277,16 +276,12 @@ void Replica::ApplyDecided(const WriteOption& option) {
     return;
   }
   if (option.kind == OptionKind::kCommutative) {
-    if (!store_.ApplyOption(option.txn, option.key)) {
-      store_.LearnOption(option);
-    }
+    store_.ApplyOrLearn(option);
     return;
   }
   Version current = store_.Read(option.key).version;
   if (current == option.read_version) {
-    if (!store_.ApplyOption(option.txn, option.key)) {
-      store_.LearnOption(option);
-    }
+    store_.ApplyOrLearn(option);
     DrainDeferred(option.key);
   } else if (current < option.read_version) {
     // An earlier committed transition has not arrived here yet; hold this one
@@ -303,15 +298,17 @@ void Replica::DrainDeferred(Key key) {
   auto it = deferred_.find(key);
   if (it == deferred_.end()) return;
   auto& chain = it->second;
+  // Deferred chains hold only physical options (commutative ones apply
+  // immediately), and each application bumps the version by exactly one —
+  // so the version walks locally instead of re-reading the record per link.
+  Version current = store_.Read(key).version;
   while (true) {
-    Version current = store_.Read(key).version;
     auto next = chain.find(current);
     if (next == chain.end()) break;
     WriteOption option = next->second;
     chain.erase(next);
-    if (!store_.ApplyOption(option.txn, option.key)) {
-      store_.LearnOption(option);
-    }
+    store_.ApplyOrLearn(option);
+    ++current;
   }
   if (chain.empty()) deferred_.erase(it);
 }
@@ -489,9 +486,9 @@ void Replica::OnSyncState(const std::vector<SyncEntry>& state,
     // Transitions deferred behind versions we just jumped over are obsolete.
     auto it = deferred_.find(entry.key);
     if (it != deferred_.end()) {
-      std::erase_if(it->second, [&](const auto& e) {
-        return e.first < store_.Read(entry.key).version;
-      });
+      Version adopted = store_.Read(entry.key).version;
+      std::erase_if(it->second,
+                    [&](const auto& e) { return e.first < adopted; });
       if (it->second.empty()) deferred_.erase(it);
     }
     DrainDeferred(entry.key);

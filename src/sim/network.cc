@@ -11,11 +11,43 @@ Network::Network(Simulator* sim, Rng rng)
       messages_dropped_(0),
       messages_retransmitted_(0) {
   PLANET_CHECK(sim != nullptr);
+  default_cell_ = Resolve(LinkParams{});
+}
+
+Network::LinkState Network::Resolve(const LinkParams& params) {
+  LinkState state;
+  state.median_draw =
+      std::max<double>(1.0, static_cast<double>(params.median_one_way));
+  state.sigma = params.sigma;
+  state.min_latency = params.min_latency;
+  state.loss_prob = params.loss_prob;
+  state.rto = params.retransmit_timeout > 0 ? params.retransmit_timeout
+                                            : 4 * params.median_one_way;
+  return state;
+}
+
+void Network::EnsureDc(DcId dc) {
+  PLANET_CHECK_MSG(dc >= 0, "dc=" << dc);
+  if (dc < dim_) return;
+  DcId new_dim = dc + 1;
+  std::vector<LinkState> next(
+      static_cast<size_t>(new_dim) * static_cast<size_t>(new_dim),
+      default_cell_);
+  for (DcId s = 0; s < dim_; ++s) {
+    for (DcId d = 0; d < dim_; ++d) {
+      next[static_cast<size_t>(s) * static_cast<size_t>(new_dim) +
+           static_cast<size_t>(d)] = Cell(s, d);
+    }
+  }
+  links_ = std::move(next);
+  degradation_.resize(static_cast<size_t>(new_dim));
+  dim_ = new_dim;
 }
 
 void Network::RegisterNode(NodeId node, DcId dc) {
   PLANET_CHECK_MSG(node == static_cast<NodeId>(node_dc_.size()),
                    "nodes must be registered densely; got " << node);
+  EnsureDc(dc);
   node_dc_.push_back(dc);
   node_up_.push_back(1);
 }
@@ -39,88 +71,83 @@ DcId Network::DcOf(NodeId node) const {
 }
 
 void Network::SetLink(DcId a, DcId b, const LinkParams& params) {
-  links_[{a, b}] = params;
-  links_[{b, a}] = params;
+  SetDirectedLink(a, b, params);
+  SetDirectedLink(b, a, params);
 }
 
 void Network::SetDirectedLink(DcId src, DcId dst, const LinkParams& params) {
-  links_[{src, dst}] = params;
+  EnsureDc(std::max(src, dst));
+  LinkState& cell = Cell(src, dst);
+  bool partitioned = cell.partitioned;  // orthogonal state, survives SetLink
+  cell = Resolve(params);
+  cell.partitioned = partitioned;
 }
 
 void Network::SetPartitioned(DcId a, DcId b, bool partitioned) {
-  partitioned_[{a, b}] = partitioned;
-  partitioned_[{b, a}] = partitioned;
+  EnsureDc(std::max(a, b));
+  Cell(a, b).partitioned = partitioned;
+  Cell(b, a).partitioned = partitioned;
 }
 
 void Network::SetDegradation(DcId dc, const DcDegradation& degradation) {
-  degradation_[dc] = degradation;
+  EnsureDc(dc);
+  DegradationState& state = degradation_[static_cast<size_t>(dc)];
+  state.active = degradation.extra_median > 0;
+  state.extra_median = static_cast<double>(degradation.extra_median);
+  state.extra_sigma = std::max(0.01, degradation.extra_sigma);
 }
 
-void Network::ClearDegradation(DcId dc) { degradation_.erase(dc); }
+void Network::ClearDegradation(DcId dc) {
+  if (dc >= 0 && dc < dim_) {
+    degradation_[static_cast<size_t>(dc)] = DegradationState{};
+  }
+}
 
-const LinkParams& Network::LinkFor(DcId src, DcId dst) const {
-  auto it = links_.find({src, dst});
-  return it != links_.end() ? it->second : default_link_;
+Duration Network::SampleCell(const LinkState& link, DcId src, DcId dst) {
+  double delay = rng_.Lognormal(link.median_draw, link.sigma);
+  // Degradation models wide-area ingress/egress congestion at a DC; traffic
+  // that never leaves the DC is unaffected. Draw order (src then dst, only
+  // when active) is part of the determinism contract.
+  if (src != dst) {
+    const DegradationState& s = degradation_[static_cast<size_t>(src)];
+    if (s.active) delay += rng_.Lognormal(s.extra_median, s.extra_sigma);
+    const DegradationState& d = degradation_[static_cast<size_t>(dst)];
+    if (d.active) delay += rng_.Lognormal(d.extra_median, d.extra_sigma);
+  }
+  return std::max(static_cast<Duration>(delay), link.min_latency);
 }
 
 Duration Network::SampleLatency(DcId src, DcId dst) {
-  const LinkParams& link = LinkFor(src, dst);
-  double delay = rng_.Lognormal(
-      std::max<double>(1.0, static_cast<double>(link.median_one_way)),
-      link.sigma);
-  // Degradation models wide-area ingress/egress congestion at a DC; traffic
-  // that never leaves the DC is unaffected.
-  if (src != dst) {
-    for (DcId dc : {src, dst}) {
-      auto it = degradation_.find(dc);
-      if (it != degradation_.end()) {
-        const DcDegradation& deg = it->second;
-        if (deg.extra_median > 0) {
-          delay += rng_.Lognormal(static_cast<double>(deg.extra_median),
-                                  std::max(0.01, deg.extra_sigma));
-        }
-      }
-    }
-  }
-  Duration d = static_cast<Duration>(delay);
-  return std::max(d, link.min_latency);
+  EnsureDc(std::max(src, dst));
+  return SampleCell(Cell(src, dst), src, dst);
 }
 
-void Network::Send(NodeId src, NodeId dst, std::function<void()> deliver) {
+bool Network::PrepareSend(NodeId src, NodeId dst, Duration* delay) {
   DcId src_dc = DcOf(src);
   DcId dst_dc = DcOf(dst);
   ++messages_sent_;
 
   if (!NodeUp(src) || !NodeUp(dst)) {
     ++messages_dropped_;
-    return;
+    return false;
   }
-  auto part = partitioned_.find({src_dc, dst_dc});
-  if (part != partitioned_.end() && part->second) {
+  // RegisterNode grew the matrices to cover both DCs.
+  const LinkState& link = Cell(src_dc, dst_dc);
+  if (link.partitioned) {
     ++messages_dropped_;
-    return;
+    return false;
   }
-  const LinkParams& link = LinkFor(src_dc, dst_dc);
-  Duration delay = SampleLatency(src_dc, dst_dc);
+  Duration d = SampleCell(link, src_dc, dst_dc);
   // Reliable channel: "loss" delays the message by the retransmission
   // timeout instead of dropping it (possibly several times in a row).
   if (link.loss_prob > 0.0) {
-    Duration rto = link.retransmit_timeout > 0 ? link.retransmit_timeout
-                                               : 4 * link.median_one_way;
     while (rng_.Bernoulli(link.loss_prob)) {
-      delay += rto;
+      d += link.rto;
       ++messages_retransmitted_;
     }
   }
-  // Deliveries re-check liveness: a message in flight toward a node that
-  // crashes before it lands is lost with the node's receive buffers.
-  sim_->Schedule(delay, [this, dst, deliver = std::move(deliver)] {
-    if (!NodeUp(dst)) {
-      ++messages_dropped_;
-      return;
-    }
-    deliver();
-  });
+  *delay = d;
+  return true;
 }
 
 }  // namespace planet

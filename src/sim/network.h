@@ -7,13 +7,21 @@
 // the heavy-tailed WAN RTT distributions PLANET's predictor must cope with;
 // degradation injection reproduces the paper's "unpredictable environments"
 // (load spikes, consolidation interference).
+//
+// Hot-path design (see docs/PERFORMANCE.md): link, partition, and
+// degradation state live in dense num_dcs x num_dcs / num_dcs tables,
+// resolved once at SetLink/SetDegradation time (lognormal draw arguments,
+// retransmission timeout, partition flag). Send and SampleLatency index
+// flat arrays and draw from the RNG in exactly the order the map-based
+// implementation did, so every seed replays bit-identically.
 #ifndef PLANET_SIM_NETWORK_H_
 #define PLANET_SIM_NETWORK_H_
 
-#include <functional>
-#include <map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/simulator.h"
@@ -76,7 +84,22 @@ class Network {
   /// Sends `deliver` from `src` to `dst`; it runs after the sampled one-way
   /// delay unless the message is lost or the DCs are partitioned.
   /// Self-sends (src == dst node) are delivered after the intra-DC delay.
-  void Send(NodeId src, NodeId dst, std::function<void()> deliver);
+  ///
+  /// Templated so the delivery closure rides inside the scheduled event
+  /// without type erasure: the event captures {Network*, dst, deliver}
+  /// directly, so `deliver` may capture up to
+  /// Simulator::EventFn::inline_bytes() - 16 bytes (the largest MDCC
+  /// round-trip closures are ~88B) before the event heap-allocates (see
+  /// InlineFunctionHeapFallbacks).
+  template <typename F>
+  void Send(NodeId src, NodeId dst, F&& deliver) {
+    Duration delay;
+    if (!PrepareSend(src, dst, &delay)) return;
+    // Deliveries re-check liveness: a message in flight toward a node that
+    // crashes before it lands is lost with the node's receive buffers.
+    sim_->Schedule(delay, DeliveryEvent<std::decay_t<F>>{
+                              this, dst, std::forward<F>(deliver)});
+  }
 
   /// Samples what the one-way latency would be right now (no send).
   Duration SampleLatency(DcId src, DcId dst);
@@ -87,16 +110,60 @@ class Network {
   uint64_t messages_retransmitted() const { return messages_retransmitted_; }
 
  private:
-  const LinkParams& LinkFor(DcId src, DcId dst) const;
+  template <typename F>
+  struct DeliveryEvent {
+    Network* net;
+    NodeId dst;
+    F fn;
+    void operator()() {
+      if (!net->NodeUp(dst)) {
+        ++net->messages_dropped_;
+        return;
+      }
+      fn();
+    }
+  };
+
+  /// Everything in Send up to scheduling: liveness/partition drops, latency
+  /// sampling, loss retransmissions. Returns false when the message is
+  /// dropped; otherwise *delay is the sampled one-way delivery delay.
+  bool PrepareSend(NodeId src, NodeId dst, Duration* delay);
+
+  /// One directed link, fully resolved: no map walk, no per-send branching
+  /// on "was this link ever configured".
+  struct LinkState {
+    double median_draw;   ///< max(1.0, double(median_one_way)), Lognormal arg
+    double sigma;
+    Duration min_latency;
+    double loss_prob;
+    Duration rto;         ///< resolved: explicit RTO or 4x median
+    bool partitioned = false;
+  };
+  struct DegradationState {
+    bool active = false;  ///< set && extra_median > 0
+    double extra_median = 0.0;
+    double extra_sigma = 0.01;  ///< pre-clamped: max(0.01, extra_sigma)
+  };
+
+  static LinkState Resolve(const LinkParams& params);
+  /// Grows the matrices to cover DCs [0, dc]. New cells get the default
+  /// link; existing cells (including partition flags) are preserved.
+  void EnsureDc(DcId dc);
+  LinkState& Cell(DcId src, DcId dst) {
+    return links_[static_cast<size_t>(src) * static_cast<size_t>(dim_) +
+                  static_cast<size_t>(dst)];
+  }
+  Duration SampleCell(const LinkState& link, DcId src, DcId dst);
 
   Simulator* sim_;
   Rng rng_;
   std::vector<DcId> node_dc_;
   std::vector<char> node_up_;
-  std::map<std::pair<DcId, DcId>, LinkParams> links_;
-  std::map<std::pair<DcId, DcId>, bool> partitioned_;
-  std::map<DcId, DcDegradation> degradation_;
-  LinkParams default_link_;
+  /// dim_ x dim_ row-major directed-link matrix and per-DC degradation.
+  DcId dim_ = 0;
+  std::vector<LinkState> links_;
+  std::vector<DegradationState> degradation_;
+  LinkState default_cell_;
   uint64_t messages_sent_;
   uint64_t messages_dropped_;
   uint64_t messages_retransmitted_;

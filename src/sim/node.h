@@ -52,7 +52,14 @@ class Node {
   /// approaches 1/cost). cost <= 0 runs `fn` inline (infinite capacity).
   /// Work queued before a crash is silently discarded: it carries the
   /// incarnation it was enqueued under.
-  void Serve(Duration cost, std::function<void()> fn) {
+  ///
+  /// The incarnation check rides the simulator's guarded-event support
+  /// instead of a wrapper closure: a wrapper would nest `fn` (already a
+  /// full-size EventFn) inside a second capture and force a heap
+  /// allocation. BeginCrash bumps incarnation_ before anything else, so
+  /// `incarnation_ == inc at pop time` is exactly the old
+  /// `!crashed_ && incarnation_ == inc`.
+  void Serve(Duration cost, Simulator::EventFn fn) {
     if (crashed_) return;
     if (cost <= 0) {
       fn();
@@ -61,11 +68,8 @@ class Node {
     SimTime start = std::max(Now(), busy_until_);
     busy_until_ = start + cost;
     busy_time_ += cost;
-    uint64_t inc = incarnation_;
-    sim_->ScheduleAt(busy_until_, [this, inc, fn = std::move(fn)] {
-      if (crashed_ || incarnation_ != inc) return;
-      fn();
-    });
+    sim_->ScheduleGuardedAt(busy_until_, &incarnation_, incarnation_,
+                            std::move(fn));
   }
 
   /// Powers the node off: deliveries stop (the Network drops them), queued

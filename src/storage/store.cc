@@ -55,8 +55,10 @@ Status Store::CheckOption(const WriteOption& option) const {
   PLANET_DCHECK_OWNED(thread_checker_);
   static const Record kEmpty{};
   const Record* found = Find(option.key);
-  const Record& rec = found != nullptr ? *found : kEmpty;
+  return CheckRecord(found != nullptr ? *found : kEmpty, option);
+}
 
+Status Store::CheckRecord(const Record& rec, const WriteOption& option) const {
   if (option.kind == OptionKind::kPhysical) {
     if (option.read_version != rec.version) {
       ++rejects_stale_;
@@ -96,13 +98,26 @@ Status Store::CheckOption(const WriteOption& option) const {
 
 void Store::AcceptOption(const WriteOption& option) {
   PLANET_DCHECK_OWNED(thread_checker_);
-  Status st = CheckOption(option);
-  PLANET_CHECK_MSG(st.ok(), option.ToString() << " -> " << st.ToString());
   Record& rec = FindOrCreate(option.key);
+  Status st = CheckRecord(rec, option);
+  PLANET_CHECK_MSG(st.ok(), option.ToString() << " -> " << st.ToString());
+  AcceptIntoRecord(rec, option);
+}
+
+Status Store::TryAcceptOption(const WriteOption& option) {
+  PLANET_DCHECK_OWNED(thread_checker_);
+  Record& rec = FindOrCreate(option.key);
+  Status st = CheckRecord(rec, option);
+  if (st.ok()) AcceptIntoRecord(rec, option);
+  return st;
+}
+
+void Store::AcceptIntoRecord(Record& rec, const WriteOption& option) {
   // Idempotent per (txn, key): replace any previous pending entry.
   std::erase_if(rec.pending, [&](const WriteOption& p) {
     return p.txn == option.txn;
   });
+  if (rec.pending.capacity() == 0) rec.pending.reserve(2);
   rec.pending.push_back(option);
   ++accepts_;
 }
@@ -152,6 +167,17 @@ bool Store::ApplyOption(TxnId txn, Key key) {
 void Store::LearnOption(const WriteOption& option) {
   PLANET_DCHECK_OWNED(thread_checker_);
   Record& rec = FindOrCreate(option.key);
+  std::erase_if(rec.pending, [&](const WriteOption& p) {
+    return p.txn == option.txn;
+  });
+  ApplyPayload(rec, option);
+}
+
+void Store::ApplyOrLearn(const WriteOption& option) {
+  PLANET_DCHECK_OWNED(thread_checker_);
+  Record& rec = FindOrCreate(option.key);
+  // Pending entry (if any) is consumed either way; whether it existed only
+  // decides nothing here — ApplyPayload handles both transitions.
   std::erase_if(rec.pending, [&](const WriteOption& p) {
     return p.txn == option.txn;
   });

@@ -67,7 +67,9 @@ struct SyncEntry {
 /// this store. DetachFromThread() releases ownership for explicit handoff.
 class Store {
  public:
-  Store() = default;
+  // Pre-size the WAL past the first few doublings; every committed write
+  // appends an entry, so the vector reaches steady growth almost instantly.
+  Store() { wal_.reserve(64); }
 
   /// Releases single-owner thread affinity (ownership transfer).
   void DetachFromThread() { thread_checker_.DetachFromThread(); }
@@ -92,6 +94,11 @@ class Store {
   /// PLANET_CHECKs that CheckOption would pass.
   void AcceptOption(const WriteOption& option);
 
+  /// CheckOption + AcceptOption in one record lookup (the acceptor's vote
+  /// path does this per message): accepts iff the check passes and returns
+  /// the check's status either way.
+  [[nodiscard]] Status TryAcceptOption(const WriteOption& option);
+
   /// Drops the pending option of (txn, key) if present (abort / learn-other).
   void RemoveOption(TxnId txn, Key key);
 
@@ -107,6 +114,11 @@ class Store {
   /// commutative options: a delta the record already embeds (applied
   /// directly, or inherited through AdoptRecord) is not applied twice.
   void LearnOption(const WriteOption& option);
+
+  /// ApplyOption if (txn, key) is pending, LearnOption otherwise — the
+  /// visibility/decide path — in one record lookup instead of two.
+  /// Equivalent to `if (!ApplyOption(o.txn, o.key)) LearnOption(o);`.
+  void ApplyOrLearn(const WriteOption& option);
 
   /// Number of pending options across all records.
   size_t TotalPending() const;
@@ -170,6 +182,10 @@ class Store {
 
   const Record* Find(Key key) const;
   Record& FindOrCreate(Key key);
+  /// CheckOption against an already-located record (no map walk).
+  [[nodiscard]] Status CheckRecord(const Record& rec,
+                                   const WriteOption& option) const;
+  void AcceptIntoRecord(Record& rec, const WriteOption& option);
   void ApplyPayload(Record& rec, const WriteOption& option);
 
   ThreadChecker thread_checker_;

@@ -1,0 +1,39 @@
+// Fixture: every std::function use below must trip std-function-hot-path
+// (by-value parameter, data member, local). Reference parameters and alias
+// declarations on the "Fine" lines must NOT trip it.
+#ifndef PLANET_LINT_FIXTURE_USES_STD_FUNCTION_H_
+#define PLANET_LINT_FIXTURE_USES_STD_FUNCTION_H_
+
+#include <functional>
+
+namespace planet_lint_fixture {
+
+// Fine: alias declaration, not a by-value use.
+using Callback = std::function<void(int)>;
+
+class Handler {
+ public:
+  // Bad: by-value std::function parameter — type-erases and heap-allocates
+  // per call on the hot path.
+  void Schedule(std::function<void()> fn);
+
+  // Bad: by-value parameter with nested template arguments.
+  void Reply(std::function<void(std::function<void(int)>, int)> cb);
+
+  // Fine: pass-by-const-reference.
+  void Observe(const std::function<void(int)>& cb);
+
+ private:
+  // Bad: std::function data member.
+  std::function<void()> stored_;
+};
+
+inline void Local() {
+  // Bad: std::function local variable.
+  std::function<int(int)> f = [](int x) { return x; };
+  f(1);
+}
+
+}  // namespace planet_lint_fixture
+
+#endif  // PLANET_LINT_FIXTURE_USES_STD_FUNCTION_H_

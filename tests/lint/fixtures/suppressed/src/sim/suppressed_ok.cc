@@ -2,6 +2,7 @@
 // per-rule suppression comment — the file must lint clean.
 #include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <thread>
 
 namespace planet_lint_fixture {
@@ -12,7 +13,9 @@ long AllSuppressed() {
   long b = rand();  // planet-lint: allow(unseeded-random)
   // planet-lint: allow(blocking-primitive)
   std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  return a + b;
+  // planet-lint: allow(std-function-hot-path)
+  std::function<long()> f = [] { return 1L; };
+  return a + b + f();
 }
 
 }  // namespace planet_lint_fixture

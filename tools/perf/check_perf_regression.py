@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for BENCH_micro.json documents.
+
+Usage: check_perf_regression.py BASELINE.json CANDIDATE.json [--factor X]
+
+Compares per-component ns_per_op between the committed baseline and a fresh
+bench_micro run; exits 1 if any component regressed by more than --factor
+(default 2.5x). The threshold is deliberately generous: CI machines are
+noisy and throttled, while the regressions this gate exists to catch — a
+reintroduced per-event heap allocation, a map walk back on the send path —
+are 10x, not 1.3x. Components present in only one document are reported
+but never fail the gate (adding a benchmark must not break CI).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_components(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    comps = {}
+    for point in doc.get("points", []):
+        label = point.get("label", "")
+        ns = point.get("ns_per_op")
+        if label and isinstance(ns, (int, float)) and ns > 0:
+            comps[label] = float(ns)
+    return comps
+
+
+def main():
+    ap = argparse.ArgumentParser(prog="check_perf_regression")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--factor", type=float, default=2.5,
+                    help="fail when candidate ns_per_op exceeds baseline "
+                         "by more than this factor (default: 2.5)")
+    args = ap.parse_args()
+
+    base = load_components(args.baseline)
+    cand = load_components(args.candidate)
+    if not base:
+        print(f"check_perf_regression: no components with ns_per_op in "
+              f"{args.baseline}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for label in sorted(base):
+        if label not in cand:
+            print(f"  {label:24s} missing from candidate (skipped)")
+            continue
+        ratio = cand[label] / base[label]
+        verdict = "FAIL" if ratio > args.factor else "ok"
+        print(f"  {label:24s} {base[label]:10.1f} -> {cand[label]:10.1f} "
+              f"ns/op  ({ratio:5.2f}x)  {verdict}")
+        if ratio > args.factor:
+            failures.append((label, ratio))
+    for label in sorted(set(cand) - set(base)):
+        print(f"  {label:24s} new component (not gated)")
+
+    if failures:
+        print(f"check_perf_regression: {len(failures)} component(s) "
+              f"regressed beyond {args.factor}x:", file=sys.stderr)
+        for label, ratio in failures:
+            print(f"  {label}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"check_perf_regression: OK ({len(base)} components within "
+          f"{args.factor}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,15 @@
 #   tools/run_tier1.sh --sanitize thread      # TSan in build-tsan/
 #   tools/run_tier1.sh --sanitize thread --filter 'thread|sweep'
 #                                             # TSan, threaded tests only
+#   tools/run_tier1.sh --perf                 # Release bench_micro + perf gate
 #
 # --filter RE restricts ctest to tests matching RE (ctest -R). Sanitizer
 # builds also enable PLANET_THREAD_CHECKS (runtime single-owner assertions).
-# Exits non-zero if configuration, compilation, or any test fails.
+# --perf skips the test suite: it builds bench_micro in Release
+# (build-perf/), runs it, and gates the result against the committed
+# BENCH_micro.json baseline (tools/perf/check_perf_regression.py; see
+# docs/PERFORMANCE.md). Exits non-zero if configuration, compilation, or
+# any test/gate fails.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +23,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 SANITIZE=""
 FILTER=""
+PERF=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --sanitize)
@@ -31,6 +37,9 @@ while [[ $# -gt 0 ]]; do
       FILTER="$2"
       shift
       ;;
+    --perf)
+      PERF=1
+      ;;
     *)
       echo "unknown argument: $1" >&2
       exit 2
@@ -38,6 +47,14 @@ while [[ $# -gt 0 ]]; do
   esac
   shift
 done
+
+if [[ "$PERF" == 1 ]]; then
+  cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-perf -j "$(nproc)" --target bench_micro
+  build-perf/bench/bench_micro --reps 5 --json build-perf/BENCH_micro.json
+  exec python3 tools/perf/check_perf_regression.py \
+      BENCH_micro.json build-perf/BENCH_micro.json
+fi
 
 if [[ -n "$SANITIZE" ]]; then
   # One build tree per sanitizer family so switching specs never links
