@@ -7,8 +7,8 @@
 // stores any callable of size <= N (and alignment <= 8) directly in the
 // object — construction is a placement-new, invocation is one indirect
 // call, destruction frees nothing. Callables that don't fit fall back to
-// the heap, exactly like std::function, and bump a global counter so tests
-// (and docs/PERFORMANCE.md readers) can detect silent fallback:
+// the heap, exactly like std::function, and bump a thread-local counter so
+// tests (and docs/PERFORMANCE.md readers) can detect silent fallback:
 //
 //   uint64_t before = InlineFunctionHeapFallbacks();
 //   ... construct closures ...
@@ -23,7 +23,6 @@
 #ifndef PLANET_COMMON_INLINE_FUNCTION_H_
 #define PLANET_COMMON_INLINE_FUNCTION_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -35,17 +34,29 @@
 namespace planet {
 
 namespace internal {
-/// Counts heap-fallback constructions process-wide. Atomic (relaxed) so the
-/// counter itself never trips TSan; the hot path never touches it when the
-/// callable fits inline.
-inline std::atomic<uint64_t> g_inline_function_heap_fallbacks{0};
+/// Counts heap-fallback constructions *per thread*. Thread-local rather
+/// than a shared atomic: the counter is a tripwire read as a before/after
+/// delta, and under the sharded runtime (sim/sharded.h) a process-wide
+/// counter would let one shard's fallbacks trip another shard's (or a
+/// best-of-N benchmark iteration's) delta check. Each worker thread now
+/// observes exactly its own constructions, with no cross-thread traffic at
+/// all on the hot path.
+inline thread_local uint64_t t_inline_function_heap_fallbacks = 0;
 }  // namespace internal
 
-/// Total number of InlineFunction constructions (any instantiation) that
-/// had to heap-allocate because the callable exceeded the inline buffer.
+/// Number of InlineFunction constructions (any instantiation) on the
+/// calling thread that had to heap-allocate because the callable exceeded
+/// the inline buffer. Per-thread: read it on the thread whose closures you
+/// are auditing.
 inline uint64_t InlineFunctionHeapFallbacks() {
-  return internal::g_inline_function_heap_fallbacks.load(
-      std::memory_order_relaxed);
+  return internal::t_inline_function_heap_fallbacks;
+}
+
+/// Resets the calling thread's fallback counter (e.g. between best-of-N
+/// benchmark iterations, so one iteration's fallbacks can't leak into the
+/// next iteration's tripwire delta).
+inline void ResetInlineFunctionHeapFallbacks() {
+  internal::t_inline_function_heap_fallbacks = 0;
 }
 
 template <typename Sig, size_t kInlineBytes>
@@ -136,8 +147,7 @@ class InlineFunction<R(Args...), kInlineBytes> {
       invoke_ = &InvokeInline<D>;
       manage_ = &ManageInline<D>;
     } else {
-      internal::g_inline_function_heap_fallbacks.fetch_add(
-          1, std::memory_order_relaxed);
+      ++internal::t_inline_function_heap_fallbacks;
       ::new (static_cast<void*>(storage_))
           D*(new D(std::forward<F>(f)));
       invoke_ = &InvokeHeap<D>;

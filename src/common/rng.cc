@@ -74,6 +74,21 @@ double Rng::Lognormal(double median, double sigma) {
   return median * std::exp(Normal(0.0, sigma));
 }
 
+uint64_t Rng::ShardSeed(uint64_t global_seed, uint64_t shard) {
+  // Finalize the global seed through a full splitmix64 avalanche *before*
+  // combining it with the shard id, then finalize again. Mixing the raw
+  // seed with the shard arithmetically would leave additive structure that
+  // lets (seed, shard) and (seed + 1, shard - 1) cancel into the same
+  // stream; hashing first destroys that structure (every seed bit affects
+  // every mixed bit), and the golden-ratio multiply spreads small shard
+  // ids across the word, exactly like Fork's tag mixing.
+  uint64_t sm = global_seed;
+  uint64_t h = SplitMix64(sm);
+  uint64_t mix =
+      h ^ (shard * 0x9E3779B97f4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  return SplitMix64(mix);
+}
+
 Rng Rng::Fork(uint64_t tag) const {
   // Derive a new seed deterministically from (seed, tag) without disturbing
   // this stream's state.

@@ -45,6 +45,17 @@ class Rng {
 
   uint64_t seed() const { return seed_; }
 
+  /// Derives the seed for one shard of a sharded run: a full splitmix64
+  /// finalizer pass over each half of the (global_seed, shard) pair, chained
+  /// so both halves diffuse into the result. Plain `seed + shard` would make
+  /// shard streams collide across experiments — ShardSeed(s, 1) ==
+  /// (s+1) + 0 — i.e. shard 1 of seed s replays shard 0 of seed s+1.
+  /// ShardSeed makes the shard count part of the seed domain: the same
+  /// global seed at different shard counts is a different (still
+  /// deterministic) experiment. Stream independence is pinned by
+  /// tests/common/rng_test.cc.
+  static uint64_t ShardSeed(uint64_t global_seed, uint64_t shard);
+
  private:
   uint64_t seed_;
   uint64_t s_[4];

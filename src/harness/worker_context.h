@@ -1,0 +1,40 @@
+// Per-shard worker context for sharded runs: one worker thread = one shard
+// = one of these. Bundles the shard's identity, its private deterministic
+// RNG stream, and the metrics it accumulates, so nothing a worker touches
+// on the hot path is shared with a sibling shard (the p4db worker-context
+// idiom). The driver merges contexts in shard order after the run, which
+// keeps merged output independent of thread scheduling.
+#ifndef PLANET_HARNESS_WORKER_CONTEXT_H_
+#define PLANET_HARNESS_WORKER_CONTEXT_H_
+
+#include "common/rng.h"
+#include "harness/metrics.h"
+
+namespace planet {
+
+/// Everything one sim-shard worker owns outside the cluster object itself.
+struct WorkerContext {
+  WorkerContext(int shard_id_in, Rng rng_in)
+      : shard_id(shard_id_in), rng(rng_in) {}
+
+  int shard_id = 0;
+
+  /// The shard's workload stream, seeded from Rng::ShardSeed(global, shard)
+  /// — never from `global_seed + shard` (adjacent-seed collisions; see
+  /// common/rng.h).
+  Rng rng;
+
+  /// TxnResults recorded by this shard's load generators only.
+  RunMetrics metrics;
+
+  /// Simulator events this shard processed across sharded drains.
+  uint64_t events_processed = 0;
+
+  /// InlineFunction heap fallbacks observed on this shard's worker thread
+  /// (the counter is thread-local, so this is exactly this shard's own).
+  uint64_t heap_fallbacks = 0;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_HARNESS_WORKER_CONTEXT_H_

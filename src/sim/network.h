@@ -104,6 +104,14 @@ class Network {
   /// Samples what the one-way latency would be right now (no send).
   Duration SampleLatency(DcId src, DcId dst);
 
+  /// The smallest one-way delay any message on this fabric can experience:
+  /// the minimum `min_latency` over every configured link cell (every
+  /// sampled delay is clamped to its cell's floor, and loss/degradation
+  /// only add delay). This is the conservative-lookahead bound the sharded
+  /// runtime derives its exchange horizon from (sim/sharded.h): a message
+  /// sent at time t can never need delivery before t + MinLinkFloor().
+  Duration MinLinkFloor() const;
+
   /// Introspection for experiments.
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }

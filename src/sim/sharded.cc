@@ -1,0 +1,206 @@
+// planet-lint: allow-file(blocking-primitive) — host-side worker threads and
+// window barrier for the sharded runtime; simulated-world code never blocks.
+#include "sim/sharded.h"
+
+#include <algorithm>
+
+namespace planet {
+
+Duration LookaheadFromNetworks(const std::vector<const Network*>& nets) {
+  Duration floor = kUnboundedLookahead;
+  for (const Network* net : nets) {
+    PLANET_CHECK(net != nullptr);
+    floor = std::min(floor, net->MinLinkFloor());
+  }
+  return floor;
+}
+
+ShardedRuntime::ShardedRuntime(Duration lookahead) : lookahead_(lookahead) {
+  // A zero lookahead would admit a message needing delivery inside the very
+  // window that produced it — the conservative window would make no
+  // progress guarantee at all.
+  PLANET_CHECK_MSG(lookahead_ > 0, "lookahead=" << lookahead_);
+}
+
+ShardedRuntime::~ShardedRuntime() = default;
+
+int ShardedRuntime::AddShard(Simulator* sim) {
+  PLANET_CHECK(sim != nullptr);
+  PLANET_CHECK_MSG(!ran_, "AddShard after Run");
+  int id = static_cast<int>(shards_.size());
+  shards_.emplace_back();
+  shards_.back().sim = sim;
+  return id;
+}
+
+void ShardedRuntime::SetReleaseHook(int shard, EventFn hook) {
+  PLANET_CHECK(shard >= 0 && shard < num_shards());
+  PLANET_CHECK_MSG(!ran_, "SetReleaseHook after Run");
+  shards_[static_cast<size_t>(shard)].release_hook = std::move(hook);
+}
+
+ShardedRuntime::ShardContext*& ShardedRuntime::CurrentShard() {
+  thread_local ShardContext* ctx = nullptr;
+  return ctx;
+}
+
+int ShardedRuntime::CurrentShardId() {
+  ShardContext* ctx = CurrentShard();
+  return ctx != nullptr ? ctx->shard_id : -1;
+}
+
+void ShardedRuntime::RunShardWindow(int shard_id, SimTime window_end) {
+  Shard& shard = shards_[static_cast<size_t>(shard_id)];
+  // Inject the cross-shard deliveries handed over at the barrier. Injection
+  // order is the exchange's deterministic order, so equal-time deliveries
+  // get deterministic insertion-sequence tiebreaks in the destination heap.
+  // deliver_at >= the previous window end == the shard's clock, so the
+  // ScheduleAt monotonicity check holds by the lookahead contract.
+  for (Message& m : shard.inbox) {
+    shard.sim->ScheduleAt(m.deliver_at, std::move(m.fn));
+  }
+  shard.inbox.clear();
+
+  ShardContext ctx{this, shard_id};
+  CurrentShard() = &ctx;
+  shard.sim->RunWindow(window_end);
+  CurrentShard() = nullptr;
+  shard.next_event = shard.sim->NextEventTime();
+}
+
+void ShardedRuntime::WorkerLoop(int shard_id) {
+  Shard& shard = shards_[static_cast<size_t>(shard_id)];
+  // Baselines are captured on this thread: with the thread-local fallback
+  // counter (common/inline_function.h) the delta below counts exactly this
+  // shard's closures, untainted by sibling shards.
+  shard.events_before = shard.sim->events_processed();
+  shard.fallbacks_before = InlineFunctionHeapFallbacks();
+
+  uint64_t seen_round = 0;
+  for (;;) {
+    SimTime end;
+    {
+      MutexLock lock(mu_);
+      worker_cv_.Wait(mu_, [this, seen_round]() REQUIRES(mu_) {
+        return done_ || round_ != seen_round;
+      });
+      if (done_) break;
+      seen_round = round_;
+      end = window_end_;
+    }
+    RunShardWindow(shard_id, end);
+    {
+      MutexLock lock(mu_);
+      if (--running_ == 0) coord_cv_.NotifyOne();
+    }
+  }
+
+  // Final window done: record stats and release the shard's single-owner
+  // state while this thread still owns it, so the Run caller can read
+  // results afterward. Thread join gives the caller the happens-before.
+  shard.stats.events_processed =
+      shard.sim->events_processed() - shard.events_before;
+  shard.stats.heap_fallbacks =
+      InlineFunctionHeapFallbacks() - shard.fallbacks_before;
+  if (shard.release_hook) shard.release_hook();
+  shard.sim->DetachFromThread();
+}
+
+SimTime ShardedRuntime::ExchangeAndFindNext() {
+  // Collect in shard order: each outbox is already in that shard's
+  // deterministic send order, so the concatenation is deterministic no
+  // matter how the OS scheduled the window. The stable sort then orders by
+  // deliver-at while preserving (src shard, send order) for ties.
+  std::vector<Message> all;
+  for (Shard& shard : shards_) {
+    for (Message& m : shard.outbox) all.push_back(std::move(m));
+    shard.outbox.clear();
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.deliver_at < b.deliver_at;
+                   });
+  for (Message& m : all) {
+    shards_[static_cast<size_t>(m.dst)].inbox.push_back(std::move(m));
+  }
+
+  SimTime next = kSimTimeMax;
+  for (const Shard& shard : shards_) {
+    next = std::min(next, shard.next_event);
+    if (!shard.inbox.empty()) {
+      next = std::min(next, shard.inbox.front().deliver_at);  // sorted: front
+    }
+  }
+  return next;
+}
+
+void ShardedRuntime::Run() {
+  PLANET_CHECK_MSG(!ran_, "ShardedRuntime is single-use");
+  ran_ = true;
+  if (shards_.empty()) return;
+
+  // Seed the horizon from the caller's thread (which still owns the sims),
+  // then hand every shard to its worker.
+  SimTime next = kSimTimeMax;
+  for (Shard& shard : shards_) {
+    shard.next_event = shard.sim->NextEventTime();
+    next = std::min(next, shard.next_event);
+    shard.sim->DetachFromThread();
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (int i = 0; i < num_shards(); ++i) {
+    workers.emplace_back([this, i] { WorkerLoop(i); });
+  }
+
+  while (next != kSimTimeMax) {
+    // Window [next, next + lookahead): every event and pending delivery is
+    // at >= next, so nothing produced during the window (delivery >= send
+    // time + lookahead >= next + lookahead) can land inside it.
+    SimTime end = lookahead_ == kUnboundedLookahead ||
+                          next > kSimTimeMax - lookahead_
+                      ? kSimTimeMax
+                      : next + lookahead_;
+    ++windows_;
+    {
+      MutexLock lock(mu_);
+      window_end_ = end;
+      running_ = num_shards();
+      ++round_;
+    }
+    worker_cv_.NotifyAll();
+    {
+      MutexLock lock(mu_);
+      coord_cv_.Wait(mu_, [this]() REQUIRES(mu_) { return running_ == 0; });
+    }
+    next = ExchangeAndFindNext();
+  }
+
+  {
+    MutexLock lock(mu_);
+    done_ = true;
+  }
+  worker_cv_.NotifyAll();
+  for (std::thread& w : workers) w.join();
+}
+
+uint64_t ShardedRuntime::TotalEventsProcessed() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.stats.events_processed;
+  return total;
+}
+
+uint64_t ShardedRuntime::TotalCrossShardMessages() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.stats.cross_shard_sent;
+  return total;
+}
+
+uint64_t ShardedRuntime::TotalHeapFallbacks() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.stats.heap_fallbacks;
+  return total;
+}
+
+}  // namespace planet

@@ -1,0 +1,214 @@
+// Sharded multi-worker simulator runtime: conservative parallel DES.
+//
+// N independent Simulator shards run on N real threads. Each shard is the
+// usual single-owner deterministic event loop; the runtime advances all of
+// them in synchronized *windows* and exchanges cross-shard messages only at
+// window boundaries — the classic conservative (CMB-style) discipline:
+//
+//   T  = min over shards of the next pending event time (and pending
+//        cross-shard deliveries)
+//   W  = [T, T + lookahead)      the current safe window
+//   1. every shard runs all its events with time < T + lookahead, in
+//      parallel, touching only its own state;
+//   2. barrier: cross-shard messages produced during the window (whose
+//      delivery times are all >= T + lookahead, because a cross-shard send
+//      must respect the lookahead floor) are sorted deterministically and
+//      handed to their destination shards;
+//   3. repeat until every queue and mailbox is empty.
+//
+// `lookahead` is the conservative bound on how soon a cross-shard message
+// can need delivery after its send — derived from the WAN link-matrix
+// latency floors (Network::MinLinkFloor): no sampled delay is ever below
+// its link's floor. Shard sets with no cross-shard traffic use
+// kUnboundedLookahead and free-run to completion in a single window with
+// zero synchronization beyond start/finish.
+//
+// Determinism contract (docs/PERFORMANCE.md "Parallel DES"): for a fixed
+// shard count, replay is bit-identical run-to-run regardless of thread
+// scheduling. Inside a window each shard is sequential and deterministic;
+// the exchange sorts messages by (deliver_at, src shard, send order) with a
+// stable sort, and injection order fixes the destination's insertion-
+// sequence tiebreaks. Shard count is part of the seed domain (common/rng.h
+// ShardSeed): shards=2 and shards=4 are different experiments by design.
+//
+// The cross-shard mailbox and window barrier use real mutexes and threads.
+// That is deliberate host-side synchronization *between* simulations, not
+// blocking inside one — simulated-world code still schedules events, never
+// blocks. The planet_lint blocking-primitive exemption below is scoped to
+// exactly this file pair.
+// planet-lint: allow-file(blocking-primitive)
+#ifndef PLANET_SIM_SHARDED_H_
+#define PLANET_SIM_SHARDED_H_
+
+#include <thread>
+#include <vector>
+
+#include "common/inline_function.h"
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace planet {
+
+/// Lookahead value meaning "no cross-shard traffic": shards free-run to
+/// completion independently (still in parallel). Cross-shard Send aborts
+/// under it — an unbounded horizon cannot order cross-shard deliveries.
+inline constexpr Duration kUnboundedLookahead = kSimTimeMax;
+
+/// Conservative lookahead for a shard set whose cross-shard messages ride
+/// (copies of) these fabrics: the smallest link floor of any of them.
+Duration LookaheadFromNetworks(const std::vector<const Network*>& nets);
+
+/// Runs N attached Simulator shards on N worker threads.
+///
+/// Usage:
+///   ShardedRuntime rt(lookahead);
+///   int s0 = rt.AddShard(&sim0);         // shard ids are dense from 0
+///   int s1 = rt.AddShard(&sim1);
+///   ... seed initial events on each sim (caller thread owns them) ...
+///   rt.Run();                            // parallel drain
+///
+/// Cross-shard sends happen from *inside* a shard's event handlers via
+/// ShardedRuntime::Send — the calling shard is implicit (thread-local
+/// worker context, the per-worker idiom from p4db). Each worker claims its
+/// shard's single-owner objects for the duration of Run and releases them
+/// at the end (release hooks), so the caller can inspect results afterward.
+///
+/// The runtime itself is single-use: attach shards, Run() once, read stats.
+class ShardedRuntime {
+ public:
+  using EventFn = Simulator::EventFn;
+
+  explicit ShardedRuntime(Duration lookahead = kUnboundedLookahead);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  /// Attaches a shard. Must happen before Run; returns the shard id.
+  int AddShard(Simulator* sim);
+
+  /// Installs a hook the shard's worker thread runs after the final window,
+  /// while it still owns the shard (e.g. Cluster::DetachFromThread so the
+  /// caller can read results). The shard's Simulator is detached
+  /// automatically after the hook.
+  void SetReleaseHook(int shard, EventFn hook);
+
+  /// Sends `fn` to run on `dst_shard` `delay` microseconds from the calling
+  /// shard's current simulated time. Callable only from inside a shard's
+  /// event handler during Run (the source shard is the calling worker's).
+  /// `delay` must be >= the runtime lookahead: that is the conservative
+  /// contract that makes window exchange safe — enforced, not assumed.
+  template <typename F>
+  void Send(int dst_shard, Duration delay, F&& fn) {
+    ShardContext* ctx = CurrentShard();
+    PLANET_CHECK_MSG(ctx != nullptr && ctx->runtime == this,
+                     "cross-shard Send outside a running shard");
+    PLANET_CHECK_MSG(lookahead_ != kUnboundedLookahead,
+                     "cross-shard Send requires a bounded lookahead");
+    PLANET_CHECK_MSG(delay >= lookahead_,
+                     "cross-shard delay " << delay
+                                          << " below lookahead horizon "
+                                          << lookahead_);
+    PLANET_CHECK_MSG(dst_shard >= 0 &&
+                         dst_shard < static_cast<int>(shards_.size()),
+                     "bad dst shard " << dst_shard);
+    Shard& src = shards_[static_cast<size_t>(ctx->shard_id)];
+    src.outbox.push_back(Message{src.sim->Now() + delay, dst_shard,
+                                 static_cast<uint32_t>(ctx->shard_id),
+                                 std::forward<F>(fn)});
+    ++src.stats.cross_shard_sent;
+  }
+
+  /// Runs every shard to completion (parallel windowed drain). Blocks the
+  /// calling thread until all shards and mailboxes are empty. The caller
+  /// must not own any shard's thread-checked state when calling (detach
+  /// first; ShardedRuntime detaches the Simulators itself).
+  void Run();
+
+  /// Per-shard accounting, collected by each worker while it still owns
+  /// its shard (so the thread-local heap-fallback counter is the worker's
+  /// own, not cross-contaminated by other shards — see
+  /// common/inline_function.h).
+  struct ShardStats {
+    uint64_t events_processed = 0;   ///< simulator events run during Run
+    uint64_t cross_shard_sent = 0;   ///< mailbox messages originated here
+    uint64_t heap_fallbacks = 0;     ///< InlineFunction fallbacks on worker
+  };
+  const ShardStats& shard_stats(int shard) const {
+    return shards_[static_cast<size_t>(shard)].stats;
+  }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Duration lookahead() const { return lookahead_; }
+
+  /// Aggregates over all shards (valid after Run).
+  uint64_t TotalEventsProcessed() const;
+  uint64_t TotalCrossShardMessages() const;
+  uint64_t TotalHeapFallbacks() const;
+
+  /// Number of synchronized windows Run executed. 1 for independent shard
+  /// sets (the zero-synchronization fast path); ~(busy span / lookahead)
+  /// when cross-shard traffic keeps every shard on the horizon.
+  uint64_t windows() const { return windows_; }
+
+  /// The calling worker's shard id, or -1 off a shard thread. This is the
+  /// per-worker context accessor (WorkerContext::get() in p4db terms).
+  static int CurrentShardId();
+
+ private:
+  struct Message {
+    SimTime deliver_at;
+    int dst;
+    uint32_t src_shard;  ///< exchange tiebreak (after deliver_at)
+    EventFn fn;
+  };
+
+  struct Shard {
+    Simulator* sim = nullptr;
+    std::vector<Message> outbox;  ///< written only by the shard's worker
+    std::vector<Message> inbox;   ///< written only at the exchange barrier
+    SimTime next_event = 0;       ///< worker's report at window end
+    uint64_t events_before = 0;
+    uint64_t fallbacks_before = 0;
+    EventFn release_hook;
+    ShardStats stats;
+  };
+
+  /// Thread-local binding of a worker thread to its shard during Run.
+  struct ShardContext {
+    ShardedRuntime* runtime = nullptr;
+    int shard_id = -1;
+  };
+  static ShardContext*& CurrentShard();
+
+  void WorkerLoop(int shard_id);
+  /// Runs one shard's window body (inject inbox, run, report next event).
+  void RunShardWindow(int shard_id, SimTime window_end);
+  /// Barrier-side: collect outboxes, sort, distribute to inboxes. Returns
+  /// the earliest pending time across shards and mailboxes.
+  SimTime ExchangeAndFindNext();
+
+  const Duration lookahead_;
+  std::vector<Shard> shards_;
+  uint64_t windows_ = 0;
+  bool ran_ = false;
+
+  // Window barrier: the coordinator (the Run caller) bumps `round_` to
+  // release every worker into a window and waits for `running_` to drain;
+  // workers exit when `done_`. All cross-thread hand-offs of shard data
+  // (outboxes, next_event) happen across this mutex, which provides the
+  // happens-before edges TSan checks for.
+  Mutex mu_;
+  CondVar worker_cv_;
+  CondVar coord_cv_;
+  uint64_t round_ GUARDED_BY(mu_) = 0;
+  SimTime window_end_ GUARDED_BY(mu_) = 0;
+  int running_ GUARDED_BY(mu_) = 0;
+  bool done_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace planet
+
+#endif  // PLANET_SIM_SHARDED_H_

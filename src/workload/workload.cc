@@ -6,27 +6,48 @@
 
 namespace planet {
 
+namespace {
+
+/// Keys shard `shard` owns out of the first `n` keys under round-robin
+/// striping: |{r : r * num_shards + shard < n}|.
+uint64_t StripeSpan(uint64_t n, int num_shards, int shard) {
+  uint64_t s = static_cast<uint64_t>(shard);
+  uint64_t stride = static_cast<uint64_t>(num_shards);
+  return n > s ? (n - s + stride - 1) / stride : 0;
+}
+
+}  // namespace
+
 KeyChooser::KeyChooser(const WorkloadConfig& config)
     : config_(config),
-      zipf_(config.num_keys,
+      span_(StripeSpan(config.num_keys, config.num_shards, config.shard)),
+      hot_span_(StripeSpan(std::min(config.hot_keys, config.num_keys),
+                           config.num_shards, config.shard)),
+      zipf_(span_ > 0 ? span_ : 1,
             config.dist == KeyDist::kZipf ? config.zipf_theta : 0.0) {
   PLANET_CHECK(config.num_keys >= 1);
+  PLANET_CHECK(config.num_shards >= 1);
+  PLANET_CHECK(config.shard >= 0 && config.shard < config.num_shards);
+  PLANET_CHECK_MSG(span_ >= 1, "shard " << config.shard << " owns no keys of "
+                                        << config.num_keys);
 }
 
 Key KeyChooser::Next(Rng& rng) const {
+  // All draws are over shard-local ranks, mapped to global keys at the end;
+  // with num_shards == 1 the mapping is the identity and the draw sequence
+  // is exactly the historical one (goldens depend on this).
   switch (config_.dist) {
     case KeyDist::kUniform:
-      return rng.Next() % config_.num_keys;
+      return MapRank(rng.Next() % span_);
     case KeyDist::kZipf:
-      return zipf_.Next(rng);
+      return MapRank(zipf_.Next(rng));
     case KeyDist::kHotspot: {
-      uint64_t hot = std::min(config_.hot_keys, config_.num_keys);
-      if (hot > 0 && rng.Bernoulli(config_.hot_fraction)) {
-        return rng.Next() % hot;
+      if (hot_span_ > 0 && rng.Bernoulli(config_.hot_fraction)) {
+        return MapRank(rng.Next() % hot_span_);
       }
-      uint64_t cold = config_.num_keys - hot;
-      if (cold == 0) return rng.Next() % config_.num_keys;
-      return hot + rng.Next() % cold;
+      uint64_t cold = span_ - hot_span_;
+      if (cold == 0) return MapRank(rng.Next() % span_);
+      return MapRank(hot_span_ + rng.Next() % cold);
     }
   }
   return 0;
@@ -34,8 +55,9 @@ Key KeyChooser::Next(Rng& rng) const {
 
 std::vector<Key> KeyChooser::NextDistinct(Rng& rng, int n) const {
   PLANET_CHECK(n >= 0);
-  PLANET_CHECK_MSG(static_cast<uint64_t>(n) <= config_.num_keys,
-                   "cannot draw " << n << " distinct of " << config_.num_keys);
+  PLANET_CHECK_MSG(static_cast<uint64_t>(n) <= span_,
+                   "cannot draw " << n << " distinct of " << span_
+                                  << " shard-owned keys");
   std::vector<Key> keys;
   keys.reserve(static_cast<size_t>(n));
   int attempts = 0;
@@ -45,8 +67,10 @@ std::vector<Key> KeyChooser::NextDistinct(Rng& rng, int n) const {
       keys.push_back(k);
     } else if (++attempts > 64 * n) {
       // Pathologically small effective key space (e.g. 1 hot key with
-      // hot_fraction 1): fall back to sequential fill.
-      for (Key k2 = 0; static_cast<int>(keys.size()) < n; ++k2) {
+      // hot_fraction 1): fall back to sequential fill over the shard's
+      // ranks (identity when unsharded).
+      for (uint64_t r = 0; static_cast<int>(keys.size()) < n; ++r) {
+        Key k2 = MapRank(r);
         if (std::find(keys.begin(), keys.end(), k2) == keys.end()) {
           keys.push_back(k2);
         }
@@ -70,8 +94,17 @@ void LoadGenerator::Start(SimTime end_time) {
   end_time_ = end_time;
   if (options_.rate_per_sec > 0) {
     ScheduleNextArrival();
-  } else {
-    IssueClosedLoop();
+    return;
+  }
+  uint64_t sessions = options_.sessions > 0 ? options_.sessions : 1;
+  for (uint64_t i = 0; i < sessions; ++i) {
+    if (options_.stagger_start && options_.think_time_mean > 0) {
+      Duration pause = static_cast<Duration>(
+          rng_.Exponential(static_cast<double>(options_.think_time_mean)));
+      sim_->Schedule(pause, [this] { IssueClosedLoop(); });
+    } else {
+      IssueClosedLoop();
+    }
   }
 }
 

@@ -34,6 +34,16 @@ struct WorkloadConfig {
   int writes_per_txn = 2;
   /// Use commutative Add options instead of physical RMW writes.
   bool commutative = false;
+
+  /// Sharded runs: this chooser emits only the keys owned by `shard` out of
+  /// `num_shards`, striped round-robin (shard s owns keys congruent to s
+  /// mod num_shards). Striping — rather than contiguous ranges — keeps the
+  /// per-shard popularity profile of zipf/hotspot identical to the global
+  /// one: the globally hottest keys spread one per shard, and rank r within
+  /// a shard maps to global rank ~r*num_shards. Defaults preserve the
+  /// unsharded behaviour bit-for-bit.
+  int num_shards = 1;
+  int shard = 0;
 };
 
 /// Draws distinct keys according to the configured distribution.
@@ -49,7 +59,16 @@ class KeyChooser {
   std::vector<Key> NextDistinct(Rng& rng, int n) const;
 
  private:
+  /// Global key for the shard-local popularity rank (rank 0 = the shard's
+  /// hottest key). Identity when unsharded.
+  Key MapRank(uint64_t rank) const {
+    return rank * static_cast<uint64_t>(config_.num_shards) +
+           static_cast<uint64_t>(config_.shard);
+  }
+
   WorkloadConfig config_;
+  uint64_t span_;      ///< keys this shard owns
+  uint64_t hot_span_;  ///< of those, globally-hot ones (hotspot dist)
   ZipfGenerator zipf_;
 };
 
@@ -72,6 +91,19 @@ class LoadGenerator {
   struct Options {
     Duration think_time_mean = 0;  ///< closed loop: mean think time
     double rate_per_sec = 0;       ///< > 0 switches to open loop
+
+    /// Closed loop: number of independent client sessions this generator
+    /// multiplexes (each is its own think/issue chain, so one generator
+    /// object can stand in for a whole client population — the mega-scale
+    /// benches run ~10^6 sessions through a handful of generators).
+    uint64_t sessions = 1;
+
+    /// Closed loop: start each session after an initial exponential think
+    /// pause instead of all at t=0, so huge populations ramp into their
+    /// steady state rather than issuing a simultaneous thundering herd.
+    /// Off by default — existing experiments start at t=0 and their golden
+    /// histories must not move.
+    bool stagger_start = false;
   };
 
   LoadGenerator(Simulator* sim, Rng rng, TxnRunner runner, Options options);

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
+#include "harness/metrics_json.h"
 
 namespace planet {
 namespace {
@@ -98,6 +101,45 @@ TEST(RunMetrics, MergeIsAssociativeOnCounters) {
   EXPECT_EQ(left.unavailable, right.unavailable);
   EXPECT_EQ(left.rejected, right.rejected);
   EXPECT_EQ(left.attempted(), 6u);
+}
+
+TEST(MetricsJsonPoint, ZeroWallTimeEmitsNoThroughputFields) {
+  // Pin the divide-by-zero guard: a run so short the wall clock reads 0 s
+  // (or one that never stamped wall_seconds) must simply omit the
+  // wall-derived rates rather than publish "inf"/NaN — which is not JSON
+  // and poisons downstream perf tooling.
+  RunMetrics m;
+  m.committed = 10;
+  m.events_processed = 12345;
+  ASSERT_EQ(m.wall_seconds, 0.0);
+
+  MetricsJson doc("guard_pin");
+  MetricsJson::Point point("zero_wall");
+  point.Metrics(m, Seconds(1));
+  doc.Add(std::move(point));
+  std::string out = doc.ToJson();
+  EXPECT_EQ(out.find("events_per_sec"), std::string::npos);
+  EXPECT_EQ(out.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+
+  // With a real wall clock the rate appears, finite.
+  m.wall_seconds = 0.5;
+  MetricsJson doc2("guard_pin");
+  MetricsJson::Point point2("real_wall");
+  point2.Metrics(m, Seconds(1));
+  doc2.Add(std::move(point2));
+  std::string out2 = doc2.ToJson();
+  EXPECT_NE(out2.find("\"events_per_sec\": 24690"), std::string::npos) << out2;
+}
+
+TEST(MetricsJsonNumber, NonFiniteValuesSerializeAsNull) {
+  // json::Number is the last line of defense: non-finite doubles anywhere
+  // in a point must render as null, never as bare inf/nan tokens.
+  EXPECT_EQ(json::Number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json::Number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json::Number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json::Number(24690.0), "24690");
 }
 
 }  // namespace

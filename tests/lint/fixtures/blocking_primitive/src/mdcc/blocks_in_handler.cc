@@ -16,3 +16,17 @@ void Bad() {
 }
 
 }  // namespace planet_lint_fixture
+
+namespace planet_lint_fixture {
+
+// Raw threads and the project's annotated lock wrappers must also fire:
+// simulated-world code has one event loop and one owner per object.
+std::thread worker;
+std::shared_mutex rw;
+
+struct UsesWrappers {
+  void Wait();  // would take Mutex + CondVar
+};
+void Spin(Mutex* mu, CondVar* cv);
+
+}  // namespace planet_lint_fixture

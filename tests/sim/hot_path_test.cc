@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <thread>
 
 #include "common/inline_function.h"
 #include "common/rng.h"
@@ -176,6 +177,38 @@ TEST(HotPathAlloc, MillionCancelledTimersStayBounded) {
   sim.Schedule(1, [&ran] { ran = true; });
   sim.Run();
   EXPECT_TRUE(ran);
+}
+
+TEST(HeapFallbackCounter, IsPerThread) {
+  // The fallback counter is thread-local so each sim-shard worker counts
+  // exactly its own closures: a sibling thread overflowing the inline
+  // budget must not perturb this thread's count (and vice versa).
+  struct Oversized {
+    char pad[200];  // > EventFn::inline_bytes(): forced heap fallback
+    void operator()() { (void)pad[0]; }
+  };
+  uint64_t before = InlineFunctionHeapFallbacks();
+  uint64_t sibling_delta = 0;
+  std::thread sibling([&sibling_delta] {
+    uint64_t t_before = InlineFunctionHeapFallbacks();
+    EXPECT_EQ(t_before, 0u) << "fresh thread starts at zero";
+    for (int i = 0; i < 5; ++i) {
+      Simulator::EventFn fn(Oversized{});
+      fn();
+    }
+    sibling_delta = InlineFunctionHeapFallbacks() - t_before;
+  });
+  sibling.join();
+  EXPECT_EQ(sibling_delta, 5u);
+  EXPECT_EQ(InlineFunctionHeapFallbacks(), before)
+      << "sibling fallbacks leaked into this thread's counter";
+
+  // And the counter is resettable, so best-of-N harness iterations can
+  // attribute fallbacks to the iteration that caused them.
+  Simulator::EventFn fn(Oversized{});
+  EXPECT_EQ(InlineFunctionHeapFallbacks(), before + 1);
+  ResetInlineFunctionHeapFallbacks();
+  EXPECT_EQ(InlineFunctionHeapFallbacks(), 0u);
 }
 
 TEST(HotPathAlloc, CancelReleasesCapturedStateImmediately) {

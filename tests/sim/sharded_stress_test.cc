@@ -1,0 +1,135 @@
+// Sharded-runtime stress: heavy cross-shard traffic over many windows on
+// real threads. This is the TSan tier's target — it exists to put the
+// window barrier, outbox/inbox hand-off, and release-hook protocol under an
+// aggressive schedule and let the race detector check the happens-before
+// edges. It also re-checks determinism at stress scale: the outcome of run
+// K must equal run 1 exactly, including an order-sensitive digest.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/sharded.h"
+#include "sim/simulator.h"
+
+namespace planet {
+namespace {
+
+struct Arrays {
+  std::vector<std::unique_ptr<Simulator>> sims;
+  std::vector<Rng> rngs;            // [s] touched only by shard s's worker
+  std::vector<uint64_t> hops;       // [s] cross-shard arrivals at s
+  std::vector<uint64_t> checksums;  // [s] order-sensitive digest
+};
+
+/// A self-propagating chatter chain. Every step runs on the shard it
+/// currently lives on, folds that shard's clock into the shard's digest
+/// (so any reordering — not just a miscount — changes the outcome), then
+/// flips a coin between staying local and hopping to a random peer with a
+/// random lookahead-respecting delay.
+struct Chatter {
+  ShardedRuntime* rt;
+  Arrays* a;
+  int num_shards;
+  int self;
+  int remaining;
+  bool arrived_cross_shard;
+
+  void operator()() const {
+    size_t s = static_cast<size_t>(self);
+    Simulator* sim = a->sims[s].get();
+    Rng* rng = &a->rngs[s];
+    if (arrived_cross_shard) ++a->hops[s];
+    a->checksums[s] =
+        a->checksums[s] * 1099511628211ULL + static_cast<uint64_t>(sim->Now());
+    if (remaining <= 0) return;
+
+    Chatter next = *this;
+    next.remaining = remaining - 1;
+    if (num_shards > 1 && rng->Bernoulli(0.3)) {
+      int peer = static_cast<int>(rng->Next() %
+                                  static_cast<uint64_t>(num_shards - 1));
+      if (peer >= self) ++peer;  // any shard but this one
+      Duration delay = Micros(100) + static_cast<Duration>(rng->Next() % 500);
+      next.self = peer;
+      next.arrived_cross_shard = true;
+      rt->Send(peer, delay, next);
+    } else {
+      next.arrived_cross_shard = false;
+      sim->Schedule(Micros(1) + static_cast<Duration>(rng->Next() % 50), next);
+    }
+  }
+};
+
+struct StressOutcome {
+  std::vector<uint64_t> hops;
+  std::vector<uint64_t> checksums;
+  uint64_t events = 0;
+  uint64_t sent = 0;
+  uint64_t windows = 0;
+
+  bool operator==(const StressOutcome& o) const {
+    return hops == o.hops && checksums == o.checksums && events == o.events &&
+           sent == o.sent && windows == o.windows;
+  }
+};
+
+StressOutcome RunStress(int num_shards, int chains_per_shard, int steps,
+                        uint64_t seed) {
+  ShardedRuntime rt(Micros(100));
+  Arrays a;
+  for (int s = 0; s < num_shards; ++s) {
+    a.sims.push_back(std::make_unique<Simulator>());
+    a.rngs.emplace_back(Rng::ShardSeed(seed, static_cast<uint64_t>(s)));
+  }
+  a.hops.assign(static_cast<size_t>(num_shards), 0);
+  a.checksums.assign(static_cast<size_t>(num_shards), 0);
+  for (int s = 0; s < num_shards; ++s) {
+    rt.AddShard(a.sims[static_cast<size_t>(s)].get());
+  }
+  for (int s = 0; s < num_shards; ++s) {
+    for (int c = 0; c < chains_per_shard; ++c) {
+      a.sims[static_cast<size_t>(s)]->ScheduleAt(
+          Duration(1 + c * 7),
+          Chatter{&rt, &a, num_shards, s, steps, false});
+    }
+  }
+  rt.Run();
+
+  StressOutcome out;
+  out.hops = std::move(a.hops);
+  out.checksums = std::move(a.checksums);
+  out.events = rt.TotalEventsProcessed();
+  out.sent = rt.TotalCrossShardMessages();
+  out.windows = rt.windows();
+  return out;
+}
+
+TEST(ShardedStress, FourShardsHeavyCrossTrafficIsDeterministic) {
+  StressOutcome first = RunStress(4, 8, 300, 0xFEEDu);
+  // Every chain runs steps+1 events wherever it lands.
+  EXPECT_EQ(first.events, 4u * 8u * 301u);
+  EXPECT_GT(first.sent, 1000u) << "stress should actually cross shards";
+  EXPECT_GT(first.windows, 100u) << "stress should span many windows";
+  uint64_t arrivals = 0;
+  for (uint64_t h : first.hops) arrivals += h;
+  EXPECT_EQ(arrivals, first.sent);
+  EXPECT_EQ(RunStress(4, 8, 300, 0xFEEDu), first);
+}
+
+TEST(ShardedStress, EightShardsRepeatedRunsIdentical) {
+  StressOutcome first = RunStress(8, 4, 150, 0xB0BAu);
+  EXPECT_EQ(first.events, 8u * 4u * 151u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(RunStress(8, 4, 150, 0xB0BAu), first);
+  }
+}
+
+TEST(ShardedStress, DifferentSeedsDiverge) {
+  // Sanity that the digest is actually sensitive to the traffic pattern.
+  EXPECT_FALSE(RunStress(4, 8, 100, 1) == RunStress(4, 8, 100, 2));
+}
+
+}  // namespace
+}  // namespace planet

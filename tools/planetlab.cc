@@ -23,6 +23,7 @@
 #include "common/table.h"
 #include "harness/cluster.h"
 #include "harness/metrics.h"
+#include "harness/sharded_cluster.h"
 #include "harness/sweep.h"
 #include "workload/runners.h"
 
@@ -63,6 +64,10 @@ struct Args {
   int failover_ms = 0;
   bool csv = false;
   bool verbose = false;
+  /// > 1 runs N key-partitioned sim shards on N worker threads (parallel
+  /// DES); 1 is the serial engine, and NOT the same experiment as a
+  /// 1-shard sharded run (shard seeds come from Rng::ShardSeed).
+  int sim_shards = 1;
   SweepOptions sweep;  // --threads (harmless here: one point), --json
 };
 
@@ -98,6 +103,9 @@ output:     --csv             also print CSV
             --json PATH       write metrics as a JSON document
             --verbose         extra diagnostics
 harness:    --threads N       sweep-runner threads (single run: no effect)
+            --sim-shards N    parallel sim shards, key-partitioned (1 =
+                              serial engine; N>1 multiplies the simulated
+                              population by N and runs on N worker threads)
 )");
 }
 
@@ -180,6 +188,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->sweep.threads = atoi(need(i));
       if (args->sweep.threads < 1) {
         std::fprintf(stderr, "--threads wants a positive count\n");
+        return false;
+      }
+    } else if (a == "--sim-shards") {
+      args->sim_shards = atoi(need(i));
+      if (args->sim_shards < 1) {
+        std::fprintf(stderr, "--sim-shards wants a positive count\n");
         return false;
       }
     } else if (a == "--verbose") {
@@ -275,6 +289,9 @@ void ExportJson(const Args& args, const LabResult& r) {
   if (args.failover_ms > 0) {
     point.Param("failover_ms", (long long)args.failover_ms);
   }
+  if (args.sim_shards > 1) {
+    point.Param("sim_shards", (long long)args.sim_shards);
+  }
   point.Scalar("replicas_converged", r.converged ? 1 : 0);
   point.Metrics(r.metrics, Seconds(args.duration_s));
   if (r.has_planet_stats) point.Speculation(r.planet_stats);
@@ -309,6 +326,129 @@ LabResult RunTpc(const Args& args) {
   }
   cluster.Drain();
   result.converged = cluster.ReplicasConverged();
+  return result;
+}
+
+/// Sharded 2PC run: N key-partitioned TpcClusters drained in parallel.
+LabResult RunTpcSharded(const Args& args) {
+  TpcClusterOptions base;
+  base.seed = args.seed;
+  base.tpc.num_dcs = args.dcs;
+  base.wan = args.dcs == 5 ? FiveDcWan() : UniformWan(args.dcs, 50.0);
+  base.clients_per_dc = args.clients_per_dc;
+  base.faults = args.faults;
+  if (args.spike) {
+    std::fprintf(stderr, "note: --spike applies to the mdcc/planet stacks\n");
+  }
+  ShardedTpcCluster sharded(base, args.sim_shards);
+  LoadGenerator::Options load;
+  load.rate_per_sec = args.rate;
+  load.think_time_mean = Millis(args.think_ms);
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    TpcCluster* cluster = sharded.shard(s);
+    WorkloadConfig wl = MakeWorkload(args);
+    wl.num_shards = args.sim_shards;
+    wl.shard = s;
+    for (int i = 0; i < cluster->num_clients(); ++i) {
+      auto gen = std::make_unique<LoadGenerator>(
+          &cluster->sim(), cluster->ForkRng(100 + i),
+          MakeTpcRunner(cluster->client(i), wl, cluster->ForkRng(200 + i)),
+          load);
+      gen->SetResultSink(sharded.context(s).metrics.Sink());
+      gen->Start(Seconds(args.duration_s));
+      generators.push_back(std::move(gen));
+    }
+  }
+  sharded.Drain();
+  LabResult result;
+  result.metrics = sharded.MergedMetrics();
+  result.converged = sharded.AllConverged();
+  return result;
+}
+
+/// Sharded MDCC/PLANET run. Each shard is a full deployment with its own
+/// WAN; the spike and fault schedules apply to every shard (same simulated
+/// times, per-shard sampled effects).
+LabResult RunMdccOrPlanetSharded(const Args& args) {
+  ClusterOptions base;
+  base.seed = args.seed;
+  base.mdcc.num_dcs = args.dcs;
+  base.wan = args.dcs == 5 ? FiveDcWan() : UniformWan(args.dcs, 50.0);
+  base.clients_per_dc = args.clients_per_dc;
+  base.planet.enable_admission = args.admission > 0;
+  base.planet.admission_threshold = args.admission;
+  base.faults = args.faults;
+  if (args.failover_ms > 0) {
+    base.mdcc.master_failover_timeout = Millis(args.failover_ms);
+    base.planet.dead_after = Millis(args.failover_ms);
+  }
+  ShardedCluster sharded(base, args.sim_shards);
+  LoadGenerator::Options load;
+  load.rate_per_sec = args.rate;
+  load.think_time_mean = Millis(args.think_ms);
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    Cluster* cluster = sharded.shard(s);
+    if (args.spike) {
+      cluster->sim().ScheduleAt(Seconds(args.spike_start), [cluster, &args] {
+        DcDegradation deg;
+        deg.extra_median = Millis(args.spike_extra_ms);
+        deg.extra_sigma = 0.2;
+        cluster->net().SetDegradation(args.spike_dc, deg);
+      });
+      cluster->sim().ScheduleAt(Seconds(args.spike_end), [cluster, &args] {
+        cluster->net().ClearDegradation(args.spike_dc);
+      });
+    }
+    WorkloadConfig wl = MakeWorkload(args);
+    wl.num_shards = args.sim_shards;
+    wl.shard = s;
+    for (int i = 0; i < cluster->num_clients(); ++i) {
+      TxnRunner runner;
+      if (args.stack == "mdcc") {
+        runner =
+            MakeMdccRunner(cluster->client(i), wl, cluster->ForkRng(200 + i));
+      } else {
+        PlanetRunnerPolicy policy;
+        policy.speculation_deadline = Millis(args.deadline_ms);
+        policy.speculate_threshold = args.threshold;
+        policy.give_up_below = args.giveup;
+        runner = MakePlanetRunner(cluster->planet_client(i), wl,
+                                  cluster->ForkRng(200 + i), policy);
+      }
+      auto gen = std::make_unique<LoadGenerator>(
+          &cluster->sim(), cluster->ForkRng(100 + i), std::move(runner), load);
+      gen->SetResultSink(sharded.context(s).metrics.Sink());
+      gen->Start(Seconds(args.duration_s));
+      generators.push_back(std::move(gen));
+    }
+  }
+  sharded.Drain();
+  LabResult result;
+  result.metrics = sharded.MergedMetrics();
+  result.converged = sharded.AllConverged();
+  if (args.stack == "planet") {
+    result.has_planet_stats = true;
+    // Merge shard speculation stats in shard order (counters + latency
+    // histograms; the per-shard calibration trackers stay per-shard).
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      const PlanetStats& ps = sharded.shard(s)->context().stats();
+      PlanetStats& out = result.planet_stats;
+      out.started += ps.started;
+      out.committed += ps.committed;
+      out.aborted += ps.aborted;
+      out.unavailable += ps.unavailable;
+      out.admission_rejected += ps.admission_rejected;
+      out.speculated += ps.speculated;
+      out.speculation_correct += ps.speculation_correct;
+      out.apologies += ps.apologies;
+      out.gave_up += ps.gave_up;
+      out.commit_latency.Merge(ps.commit_latency);
+      out.final_latency.Merge(ps.final_latency);
+      out.user_latency.Merge(ps.user_latency);
+    }
+  }
   return result;
 }
 
@@ -407,6 +547,10 @@ int main(int argc, char** argv) {
   // same harness (and --json schema) as the bench sweeps.
   std::vector<std::function<LabResult()>> points;
   points.push_back([&args] {
+    if (args.sim_shards > 1) {
+      return args.stack == "2pc" ? RunTpcSharded(args)
+                                 : RunMdccOrPlanetSharded(args);
+    }
     return args.stack == "2pc" ? RunTpc(args) : RunMdccOrPlanet(args);
   });
   SweepRunner runner(args.sweep);
