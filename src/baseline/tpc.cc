@@ -164,13 +164,25 @@ void TpcClient::Read(TxnId txn, Key key, ReadCallback cb) {
     node->HandleRead(key, [this, node_id, txn, key, done, timeout_event,
                            cb_shared](RecordView view) {
       net_->Send(node_id, id_,
-                 [this, txn, key, done, timeout_event, cb_shared, view] {
+                 [this, txn, key, done, timeout_event, cb_shared,
+                  view]() mutable {
         if (*done) return;
         *done = true;
         if (*timeout_event != kInvalidEventId) sim_->Cancel(*timeout_event);
         TxnState* state = Find(txn);
         if (state != nullptr && state->phase == Phase::kExecuting) {
-          state->read_versions[key] = view.version;
+          if (isolation_ == IsolationLevel::kCausal) {
+            // Session guarantee (mirrors mdcc::Client): never observe a
+            // key older than this session already has.
+            auto floor = session_floor_.find(key);
+            if (floor != session_floor_.end() &&
+                floor->second.version > view.version) {
+              view = floor->second;
+            } else {
+              session_floor_[key] = view;
+            }
+          }
+          state->read_versions[key] = ObservedRead{view.version, Now()};
         }
         (*cb_shared)(Status::OK(), view);
       });
@@ -191,7 +203,7 @@ Status TpcClient::Write(TxnId txn, Key key, Value value) {
   option.txn = txn;
   option.key = key;
   option.kind = OptionKind::kPhysical;
-  option.read_version = rv->second;
+  option.read_version = rv->second.version;
   option.new_value = value;
   state->writes[key] = option;
   return Status::OK();
@@ -207,14 +219,31 @@ void TpcClient::Commit(TxnId txn, CommitCallback cb) {
   TxnState* state = Find(txn);
   PLANET_CHECK(state != nullptr && state->phase == Phase::kExecuting);
   state->cb = std::move(cb);
-  if (state->writes.empty()) {
-    state->phase = Phase::kCommitting;
-    Finish(*state, Status::OK());
+  if (delays_ != nullptr) {
+    auto it = delays_->find(txn);
+    if (it != delays_->end() && it->second > 0) {
+      // Predictive-replay directive: defer the whole submission.
+      sim_->Schedule(it->second, [this, txn] {
+        TxnState* s = Find(txn);
+        if (s == nullptr || s->phase != Phase::kExecuting) return;
+        StartCommit(*s);
+      });
+      return;
+    }
+  }
+  StartCommit(*state);
+}
+
+void TpcClient::StartCommit(TxnState& state) {
+  TxnId txn = state.id;
+  if (state.writes.empty()) {
+    state.phase = Phase::kCommitting;
+    Finish(state, Status::OK());
     return;
   }
-  state->phase = Phase::kPreparing;
-  state->votes_pending = static_cast<int>(state->writes.size());
-  state->timeout_event = sim_->Schedule(config_.txn_timeout, [this, txn] {
+  state.phase = Phase::kPreparing;
+  state.votes_pending = static_cast<int>(state.writes.size());
+  state.timeout_event = sim_->Schedule(config_.txn_timeout, [this, txn] {
     TxnState* st = Find(txn);
     if (st == nullptr || st->phase == Phase::kDone) return;
     st->timeout_event = kInvalidEventId;
@@ -229,7 +258,7 @@ void TpcClient::Commit(TxnId txn, CommitCallback cb) {
     }
   });
 
-  for (const auto& [key, option] : state->writes) {
+  for (const auto& [key, option] : state.writes) {
     DcId home = config_.MasterOf(key);
     TpcNode* node = nodes_[static_cast<size_t>(home)];
     NodeId node_id = node->id();
@@ -318,6 +347,8 @@ void TpcClient::Finish(TxnState& state, Status outcome) {
     RecordedTxn rec;
     rec.id = state.id;
     rec.client_dc = dc_;
+    rec.client_node = id_;
+    rec.isolation = isolation_;
     rec.begin = state.begin;
     rec.decide = Now();
     rec.outcome = outcome.ok() ? TxnOutcome::kCommitted
@@ -327,8 +358,9 @@ void TpcClient::Finish(TxnState& state, Status outcome) {
     // commit, yet this coordinator cannot know where it landed (in doubt).
     rec.in_doubt = !outcome.ok() && state.commit_sent;
     rec.reads.reserve(state.read_versions.size());
-    for (const auto& [key, version] : state.read_versions) {
-      rec.reads.push_back(RecordedRead{key, version});
+    for (const auto& [key, observed] : state.read_versions) {
+      rec.reads.push_back(RecordedRead{key, observed.version,
+                                       /*speculative=*/false, observed.at});
     }
     rec.writes.reserve(state.writes.size());
     for (const auto& [key, option] : state.writes) {
@@ -343,6 +375,15 @@ void TpcClient::Finish(TxnState& state, Status outcome) {
   }
   if (outcome.ok()) {
     ++committed_;
+    if (isolation_ == IsolationLevel::kCausal) {
+      // Read-your-writes across transactions (mirrors mdcc::Client).
+      for (const auto& [key, option] : state.writes) {
+        if (option.kind != OptionKind::kPhysical) continue;
+        RecordView installed{option.read_version + 1, option.new_value};
+        RecordView& floor = session_floor_[key];
+        if (installed.version > floor.version) floor = installed;
+      }
+    }
   } else {
     ++aborted_;
   }

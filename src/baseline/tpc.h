@@ -116,11 +116,30 @@ class TpcClient : public Node {
   /// the oracles treat those writes as possibly applied.
   void SetHistoryRecorder(HistoryRecorder* recorder) { recorder_ = recorder; }
 
+  /// Isolation mode for transactions begun from now on (mirrors
+  /// mdcc::Client::SetIsolation). 2PC reads only ever observe applied
+  /// state — there are no pending options to speculate on — so
+  /// read_committed changes recording context only; causal adds the same
+  /// client-side session floor as the MDCC stack.
+  void SetIsolation(IsolationLevel isolation) { isolation_ = isolation; }
+  IsolationLevel isolation() const { return isolation_; }
+
+  /// Per-transaction commit-submission delays (predictive replay); the map
+  /// must outlive the client. Null (default) = no directive lookups.
+  void SetScheduleDelays(const std::map<TxnId, Duration>* delays) {
+    delays_ = delays;
+  }
+
   uint64_t committed() const { return committed_; }
   uint64_t aborted() const { return aborted_; }
 
  private:
   enum class Phase { kExecuting, kPreparing, kCommitting, kDone };
+  /// What one read observed (version + recording metadata).
+  struct ObservedRead {
+    Version version = 0;
+    SimTime at = 0;
+  };
   struct TxnState {
     TxnId id = kInvalidTxnId;
     Phase phase = Phase::kExecuting;
@@ -128,7 +147,7 @@ class TpcClient : public Node {
     // Ordered: iterated when acquiring locks and committing, so iteration
     // order decides message order on the wire — std::map keeps that order
     // platform-independent (hash order is not).
-    std::map<Key, Version> read_versions;
+    std::map<Key, ObservedRead> read_versions;
     std::map<Key, WriteOption> writes;
     CommitCallback cb;
     EventId timeout_event = kInvalidEventId;
@@ -140,6 +159,8 @@ class TpcClient : public Node {
   };
 
   TxnState* Find(TxnId txn);
+  /// Body of Commit once any schedule delay has elapsed.
+  void StartCommit(TxnState& state);
   void OnVote(TxnId txn, Key key, bool yes);
   void StartPhase2(TxnState& state, bool commit, Status outcome);
   void OnCommitAck(TxnId txn);
@@ -148,6 +169,10 @@ class TpcClient : public Node {
   TpcConfig config_;
   std::vector<TpcNode*> nodes_;
   HistoryRecorder* recorder_ = nullptr;
+  IsolationLevel isolation_ = IsolationLevel::kSerializable;
+  const std::map<TxnId, Duration>* delays_ = nullptr;
+  /// kCausal only: per-session monotonic-read / read-your-writes floor.
+  std::map<Key, RecordView> session_floor_;
   std::unordered_map<TxnId, TxnState> txns_;
   uint64_t next_local_txn_ = 1;
   uint64_t committed_ = 0;

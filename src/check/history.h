@@ -38,6 +38,13 @@ const char* TxnOutcomeName(TxnOutcome outcome);
 struct RecordedRead {
   Key key = 0;
   Version version = 0;
+  /// The read observed a pending (accepted but undecided) option under
+  /// read-committed visibility; its version is the option's would-be
+  /// installed version, which may never commit.
+  bool speculative = false;
+  /// Completion time of the read at the client (0 for pre-mode histories).
+  /// The predictive pass uses it to order reads against writer decisions.
+  SimTime at = 0;
 };
 
 /// One buffered write as submitted at commit time.
@@ -57,6 +64,13 @@ struct RecordedWrite {
 struct RecordedTxn {
   TxnId id = kInvalidTxnId;
   DcId client_dc = 0;
+  /// Node id of the issuing client — identifies the session for the causal
+  /// session checks and the predictor's same-client feasibility filter.
+  NodeId client_node = kInvalidNodeId;
+  /// Isolation mode the client ran this transaction under. The checker and
+  /// the predictive pass only admit unvalidated reads of weak-mode
+  /// (non-serializable) transactions into their graphs.
+  IsolationLevel isolation = IsolationLevel::kSerializable;
   SimTime begin = 0;   ///< Begin() time
   SimTime decide = 0;  ///< decision time (commit/abort/timeout)
   TxnOutcome outcome = TxnOutcome::kAborted;

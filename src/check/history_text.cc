@@ -1,0 +1,236 @@
+#include "check/history_text.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace planet {
+namespace {
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Splits "key=value" (value may be empty for bare flags like in_doubt).
+bool SplitKv(const std::string& tok, std::string* key, std::string* value) {
+  size_t eq = tok.find('=');
+  if (eq == std::string::npos) {
+    *key = tok;
+    value->clear();
+    return false;
+  }
+  *key = tok.substr(0, eq);
+  *value = tok.substr(eq + 1);
+  return true;
+}
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  size_t pos = 0;
+  try {
+    *out = std::stoll(text, &pos);
+  } catch (...) {
+    return false;
+  }
+  return pos == text.size();
+}
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  size_t pos = 0;
+  try {
+    *out = std::stoull(text, &pos);
+  } catch (...) {
+    return false;
+  }
+  return pos == text.size();
+}
+
+Status LineError(int line_no, const std::string& what) {
+  std::ostringstream os;
+  os << "history text line " << line_no << ": " << what;
+  return Status::InvalidArgument(os.str());
+}
+
+bool ParseOutcome(const std::string& text, TxnOutcome* out) {
+  if (text == "committed") {
+    *out = TxnOutcome::kCommitted;
+  } else if (text == "aborted") {
+    *out = TxnOutcome::kAborted;
+  } else if (text == "unavailable") {
+    *out = TxnOutcome::kUnavailable;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ParseHistoryText(const std::string& text, History* out) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  bool in_txn = false;
+  RecordedTxn txn;
+
+  auto flush = [&] {
+    if (in_txn) out->Add(std::move(txn));
+    txn = RecordedTxn{};
+    in_txn = false;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+
+    if (head == "seed") {
+      flush();
+      SeededKey seed;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        std::string k, v;
+        SplitKv(tokens[i], &k, &v);
+        uint64_t u = 0;
+        int64_t n = 0;
+        if (k == "key" && ParseUint(v, &u)) {
+          seed.key = static_cast<Key>(u);
+        } else if (k == "v" && ParseUint(v, &u)) {
+          seed.version = static_cast<Version>(u);
+        } else if (k == "val" && ParseInt(v, &n)) {
+          seed.value = static_cast<Value>(n);
+        } else {
+          return LineError(line_no, "bad seed token '" + tokens[i] + "'");
+        }
+      }
+      out->AddSeed(seed.key, seed.version, seed.value);
+    } else if (head == "txn") {
+      flush();
+      in_txn = true;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        std::string k, v;
+        bool has_value = SplitKv(tokens[i], &k, &v);
+        if (!has_value && k == "in_doubt") {
+          txn.in_doubt = true;
+          continue;
+        }
+        uint64_t u = 0;
+        int64_t n = 0;
+        if (k == "id" && ParseUint(v, &u)) {
+          txn.id = static_cast<TxnId>(u);
+        } else if (k == "client" && ParseUint(v, &u)) {
+          txn.client_node = static_cast<NodeId>(u);
+        } else if (k == "dc" && ParseUint(v, &u)) {
+          txn.client_dc = static_cast<DcId>(u);
+        } else if (k == "iso" && ParseIsolationLevel(v, &txn.isolation)) {
+          // parsed in place
+        } else if (k == "outcome" && ParseOutcome(v, &txn.outcome)) {
+          // parsed in place
+        } else if (k == "begin" && ParseInt(v, &n)) {
+          txn.begin = n;
+        } else if (k == "decide" && ParseInt(v, &n)) {
+          txn.decide = n;
+        } else {
+          return LineError(line_no, "bad txn token '" + tokens[i] + "'");
+        }
+      }
+      if (txn.id == kInvalidTxnId) {
+        return LineError(line_no, "txn without id=");
+      }
+    } else if (head == "read") {
+      if (!in_txn) return LineError(line_no, "read outside a txn");
+      RecordedRead r;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        std::string k, v;
+        bool has_value = SplitKv(tokens[i], &k, &v);
+        if (!has_value && k == "spec") {
+          r.speculative = true;
+          continue;
+        }
+        uint64_t u = 0;
+        int64_t n = 0;
+        if (k == "key" && ParseUint(v, &u)) {
+          r.key = static_cast<Key>(u);
+        } else if (k == "v" && ParseUint(v, &u)) {
+          r.version = static_cast<Version>(u);
+        } else if (k == "at" && ParseInt(v, &n)) {
+          r.at = n;
+        } else {
+          return LineError(line_no, "bad read token '" + tokens[i] + "'");
+        }
+      }
+      txn.reads.push_back(r);
+    } else if (head == "write") {
+      if (!in_txn) return LineError(line_no, "write outside a txn");
+      RecordedWrite w;
+      bool has_delta = false;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        std::string k, v;
+        SplitKv(tokens[i], &k, &v);
+        uint64_t u = 0;
+        int64_t n = 0;
+        if (k == "key" && ParseUint(v, &u)) {
+          w.key = static_cast<Key>(u);
+        } else if (k == "rv" && ParseUint(v, &u)) {
+          w.read_version = static_cast<Version>(u);
+        } else if (k == "val" && ParseInt(v, &n)) {
+          w.new_value = static_cast<Value>(n);
+        } else if (k == "delta" && ParseInt(v, &n)) {
+          w.delta = static_cast<Value>(n);
+          has_delta = true;
+        } else {
+          return LineError(line_no, "bad write token '" + tokens[i] + "'");
+        }
+      }
+      w.kind = has_delta ? OptionKind::kCommutative : OptionKind::kPhysical;
+      txn.writes.push_back(w);
+    } else {
+      return LineError(line_no, "unknown entry '" + head + "'");
+    }
+  }
+  flush();
+  return Status::OK();
+}
+
+std::string FormatHistoryText(const History& history) {
+  std::ostringstream os;
+  for (const SeededKey& seed : history.seeds()) {
+    os << "seed key=" << seed.key << " v=" << seed.version
+       << " val=" << seed.value << "\n";
+  }
+  for (const RecordedTxn& txn : history.txns()) {
+    os << "txn id=" << txn.id << " client=" << txn.client_node
+       << " dc=" << txn.client_dc << " iso=" << IsolationLevelName(txn.isolation)
+       << " outcome=" << TxnOutcomeName(txn.outcome) << " begin=" << txn.begin
+       << " decide=" << txn.decide;
+    if (txn.in_doubt) os << " in_doubt";
+    os << "\n";
+    for (const RecordedRead& r : txn.reads) {
+      os << "read key=" << r.key << " v=" << r.version;
+      if (r.at != 0) os << " at=" << r.at;
+      if (r.speculative) os << " spec";
+      os << "\n";
+    }
+    for (const RecordedWrite& w : txn.writes) {
+      if (w.kind == OptionKind::kPhysical) {
+        os << "write key=" << w.key << " rv=" << w.read_version
+           << " val=" << w.new_value << "\n";
+      } else {
+        os << "write key=" << w.key << " delta=" << w.delta << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace planet

@@ -1,0 +1,39 @@
+// Textual history format: the golden witness corpus on disk.
+//
+// A .history file is a line-oriented description of one recorded run —
+// seeds plus decided transactions — that the checker and the predictor
+// consume exactly as if a live cluster had produced it. The format is a
+// round-trip (Format then Parse yields an equal history), so corpus files
+// can be written by hand for hand-constructed anomalies or dumped from a
+// fuzzer run for regression pinning.
+//
+// Grammar (one entry per line, '#' starts a comment, blank lines ignored):
+//   seed key=K v=V val=X
+//   txn id=T client=N dc=D iso=MODE outcome=O begin=B decide=E [in_doubt]
+//   read key=K v=V [at=T] [spec]          (belongs to the preceding txn)
+//   write key=K rv=V val=X                (physical)
+//   write key=K delta=X                   (commutative)
+// MODE is serializable | read_committed | causal; O is committed |
+// aborted | unavailable. Unknown tokens are errors, not warnings: a
+// corpus file that drifts from the schema should fail loudly.
+#ifndef PLANET_CHECK_HISTORY_TEXT_H_
+#define PLANET_CHECK_HISTORY_TEXT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+#include "check/history.h"
+
+namespace planet {
+
+/// Parses `text` into `out` (appending; callers usually pass an empty
+/// history). On error, returns InvalidArgument naming the line.
+[[nodiscard]] Status ParseHistoryText(const std::string& text, History* out);
+
+/// Serializes `history` in the grammar above, deterministically.
+std::string FormatHistoryText(const History& history);
+
+}  // namespace planet
+
+#endif  // PLANET_CHECK_HISTORY_TEXT_H_

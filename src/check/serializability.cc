@@ -18,21 +18,48 @@ struct Edge {
   char kind = '?';
   Key key = 0;
   Version version = 0;
+  /// The edge exists only because a weak-mode (read_committed / causal)
+  /// transaction's unvalidated read joined the graph: any cycle that needs
+  /// it is a mode-permitted anomaly, not a protocol bug.
+  bool weak = false;
 };
 
 struct Graph {
   std::vector<const RecordedTxn*> nodes;
   std::vector<std::vector<Edge>> adj;
 
-  void AddEdge(NodeIndex from, NodeIndex to, char kind, Key key, Version v) {
+  void AddEdge(NodeIndex from, NodeIndex to, char kind, Key key, Version v,
+               bool weak = false) {
     if (from == to) return;  // self-dependencies are not anomalies
-    adj[static_cast<size_t>(from)].push_back(Edge{to, kind, key, v});
+    adj[static_cast<size_t>(from)].push_back(Edge{to, kind, key, v, weak});
   }
 
   size_t EdgeCount() const {
     size_t n = 0;
     for (const auto& out : adj) n += out.size();
     return n;
+  }
+
+  bool HasWeakEdge() const {
+    for (const auto& out : adj) {
+      for (const Edge& e : out) {
+        if (e.weak) return true;
+      }
+    }
+    return false;
+  }
+
+  /// The subgraph of strong (non-weak) edges over the same node set.
+  Graph StrongSubgraph() const {
+    Graph gs;
+    gs.nodes = nodes;
+    gs.adj.resize(adj.size());
+    for (size_t v = 0; v < adj.size(); ++v) {
+      for (const Edge& e : adj[v]) {
+        if (!e.weak) gs.adj[v].push_back(e);
+      }
+    }
+    return gs;
   }
 };
 
@@ -172,6 +199,8 @@ const char* ViolationKindName(ViolationKind kind) {
       return "phantom-version";
     case ViolationKind::kCycle:
       return "cycle";
+    case ViolationKind::kSessionRegression:
+      return "session-regression";
   }
   return "?";
 }
@@ -186,7 +215,9 @@ std::string WitnessEdge::ToString() const {
 
 std::string Violation::ToString() const {
   std::ostringstream os;
-  os << ViolationKindName(kind) << ": " << message;
+  os << ViolationKindName(kind);
+  if (mode_permitted) os << " [mode-permitted]";
+  os << ": " << message;
   for (const WitnessEdge& e : cycle) os << "\n    " << e.ToString();
   return os.str();
 }
@@ -194,10 +225,16 @@ std::string Violation::ToString() const {
 std::string CheckReport::Summary() const {
   std::ostringstream os;
   os << committed_txns << " committed txns, " << edges << " edges: ";
+  size_t permitted = PermittedCount();
   if (ok()) {
     os << "serializable";
+    if (permitted > 0) {
+      os << " (" << permitted << " mode-permitted anomaly(ies))";
+      for (const Violation& v : violations) os << "\n  " << v.ToString();
+    }
   } else {
-    os << violations.size() << " violation(s)";
+    os << violations.size() - permitted << " violation(s)";
+    if (permitted > 0) os << " + " << permitted << " mode-permitted";
     for (const Violation& v : violations) os << "\n  " << v.ToString();
   }
   return os.str();
@@ -278,10 +315,14 @@ CheckReport CheckSerializability(const History& history,
   }
 
   // Reader edges. A transaction's validated read of (key, v) is the
-  // read_version of its physical write; unvalidated reads join only on
-  // request. Writers of v get wr edges to the reader; writers of v+1 get
-  // rw (anti-dependency) edges from it.
-  auto add_reader_edges = [&](NodeIndex reader, Key key, Version version) {
+  // read_version of its physical write; unvalidated reads join for
+  // weak-mode transactions always (tagged weak) and for serializable ones
+  // on request. Writers of v get wr edges to the reader; writers of v+1
+  // get rw (anti-dependency) edges from it. A phantom from a speculative
+  // (read-committed) read is the dirty read that mode permits; any other
+  // phantom is a protocol bug.
+  auto add_reader_edges = [&](NodeIndex reader, Key key, Version version,
+                              bool weak, bool speculative) {
     auto chain_it = chains.find(key);
     const std::map<Version, ChainEntry>* chain =
         chain_it == chains.end() ? nullptr : &chain_it->second;
@@ -291,25 +332,27 @@ CheckReport CheckSerializability(const History& history,
       if (entry != chain->end()) {
         known = true;
         for (NodeIndex from : entry->second.committed) {
-          g.AddEdge(from, reader, 'r', key, version);
+          g.AddEdge(from, reader, 'r', key, version, weak);
         }
       }
       auto next = chain->find(version + 1);
       if (next != chain->end()) {
         for (NodeIndex to : next->second.committed) {
-          g.AddEdge(reader, to, 'a', key, version);
+          g.AddEdge(reader, to, 'a', key, version, weak);
         }
       }
     }
     if (!known) {
       Violation v;
       v.kind = ViolationKind::kPhantomVersion;
+      v.mode_permitted = weak && speculative;
       v.txns.push_back(g.nodes[static_cast<size_t>(reader)]->id);
       v.keys.push_back(key);
       std::ostringstream os;
       os << "txn " << g.nodes[static_cast<size_t>(reader)]->id
          << " observed key " << key << " @v" << version
          << ", which no committed write installed (dirty read)";
+      if (v.mode_permitted) os << " under read-committed visibility";
       v.message = os.str();
       report.violations.push_back(std::move(v));
     }
@@ -319,9 +362,12 @@ CheckReport CheckSerializability(const History& history,
     const RecordedTxn& txn = *g.nodes[static_cast<size_t>(n)];
     for (const RecordedWrite& w : txn.writes) {
       if (w.kind != OptionKind::kPhysical) continue;
-      add_reader_edges(n, w.key, w.read_version);
+      // Acceptor-validated: a strong edge regardless of the txn's mode.
+      add_reader_edges(n, w.key, w.read_version, /*weak=*/false,
+                       /*speculative=*/false);
     }
-    if (!options.include_unvalidated_reads) continue;
+    bool weak_mode = txn.isolation != IsolationLevel::kSerializable;
+    if (!weak_mode && !options.include_unvalidated_reads) continue;
     for (const RecordedRead& r : txn.reads) {
       // Skip keys covered by a validated (written) access: writes are
       // sorted by key, so a binary search keeps this pass O(R log W).
@@ -332,25 +378,129 @@ CheckReport CheckSerializability(const History& history,
           w->kind == OptionKind::kPhysical) {
         continue;
       }
-      add_reader_edges(n, r.key, r.version);
+      add_reader_edges(n, r.key, r.version, weak_mode, r.speculative);
     }
   }
   report.edges = g.EdgeCount();
 
-  // Cycle detection, witness only when needed.
-  for (const std::vector<NodeIndex>& scc : NontrivialSccs(g)) {
-    Violation v;
-    v.kind = ViolationKind::kCycle;
-    v.cycle = ShortestCycle(g, scc);
-    for (const WitnessEdge& e : v.cycle) {
-      v.txns.push_back(e.from);
-      v.keys.push_back(e.key);
+  // Causal session guarantees: within one client session, reads of a key
+  // must never go backwards past what the session already observed (reads
+  // are monotonic) or past the session's own committed installs
+  // (read-your-writes). Checked per (client, key) over read completion
+  // times; a committed write raises the floor for reads after its decide.
+  {
+    struct SessionEvent {
+      SimTime at = 0;
+      bool is_read = false;
+      Version version = 0;
+      TxnId txn = kInvalidTxnId;
+      Key key = 0;
+    };
+    std::map<NodeId, std::vector<SessionEvent>> sessions;
+    for (const RecordedTxn& txn : history.txns()) {
+      if (txn.isolation != IsolationLevel::kCausal) continue;
+      if (txn.outcome != TxnOutcome::kCommitted) continue;
+      if (txn.client_node == kInvalidNodeId) continue;
+      auto& events = sessions[txn.client_node];
+      for (const RecordedRead& r : txn.reads) {
+        if (r.at == 0) continue;  // pre-mode history, no ordering info
+        events.push_back(SessionEvent{r.at, true, r.version, txn.id, r.key});
+      }
+      for (const RecordedWrite& w : txn.writes) {
+        if (w.kind != OptionKind::kPhysical) continue;
+        events.push_back(
+            SessionEvent{txn.decide, false, w.installed(), txn.id, w.key});
+      }
     }
-    std::ostringstream os;
-    os << "serialization graph cycle of length " << v.cycle.size() << " ("
-       << scc.size() << " txns entangled)";
-    v.message = os.str();
-    report.violations.push_back(std::move(v));
+    for (auto& [client, events] : sessions) {
+      std::stable_sort(events.begin(), events.end(),
+                       [](const SessionEvent& a, const SessionEvent& b) {
+                         return a.at < b.at;
+                       });
+      std::map<Key, std::pair<Version, TxnId>> floor;  // highest seen
+      for (const SessionEvent& e : events) {
+        auto it = floor.find(e.key);
+        if (e.is_read && it != floor.end() && e.version < it->second.first) {
+          Violation v;
+          v.kind = ViolationKind::kSessionRegression;
+          v.txns.push_back(e.txn);
+          if (it->second.second != kInvalidTxnId) {
+            v.txns.push_back(it->second.second);
+          }
+          v.keys.push_back(e.key);
+          std::ostringstream os;
+          os << "causal session (client " << client << ") read key " << e.key
+             << " @v" << e.version << " in txn " << e.txn
+             << " after observing v" << it->second.first;
+          v.message = os.str();
+          report.violations.push_back(std::move(v));
+        }
+        if (it == floor.end() || e.version > it->second.first) {
+          floor[e.key] = {e.version, e.txn};
+        }
+      }
+    }
+  }
+
+  // Cycle detection, witness only when needed. A cycle that survives in
+  // the strong (validated-edges-only) subgraph is a protocol bug; an SCC
+  // held together only by weak unvalidated reads is the write skew / long
+  // fork its isolation mode permits.
+  std::vector<std::vector<NodeIndex>> full_sccs = NontrivialSccs(g);
+  if (!full_sccs.empty() && g.HasWeakEdge()) {
+    Graph gs = g.StrongSubgraph();
+    std::vector<int> in_strong_scc(g.nodes.size(), 0);
+    for (const std::vector<NodeIndex>& scc : NontrivialSccs(gs)) {
+      for (NodeIndex n : scc) in_strong_scc[static_cast<size_t>(n)] = 1;
+      Violation v;
+      v.kind = ViolationKind::kCycle;
+      v.cycle = ShortestCycle(gs, scc);
+      for (const WitnessEdge& e : v.cycle) {
+        v.txns.push_back(e.from);
+        v.keys.push_back(e.key);
+      }
+      std::ostringstream os;
+      os << "serialization graph cycle of length " << v.cycle.size() << " ("
+         << scc.size() << " txns entangled; validated edges only)";
+      v.message = os.str();
+      report.violations.push_back(std::move(v));
+    }
+    for (const std::vector<NodeIndex>& scc : full_sccs) {
+      bool has_strong = false;
+      for (NodeIndex n : scc) {
+        if (in_strong_scc[static_cast<size_t>(n)]) has_strong = true;
+      }
+      if (has_strong) continue;  // already reported from the strong graph
+      Violation v;
+      v.kind = ViolationKind::kCycle;
+      v.mode_permitted = true;
+      v.cycle = ShortestCycle(g, scc);
+      for (const WitnessEdge& e : v.cycle) {
+        v.txns.push_back(e.from);
+        v.keys.push_back(e.key);
+      }
+      std::ostringstream os;
+      os << "serialization graph cycle of length " << v.cycle.size() << " ("
+         << scc.size()
+         << " txns entangled) through weak-isolation unvalidated reads";
+      v.message = os.str();
+      report.violations.push_back(std::move(v));
+    }
+  } else {
+    for (const std::vector<NodeIndex>& scc : full_sccs) {
+      Violation v;
+      v.kind = ViolationKind::kCycle;
+      v.cycle = ShortestCycle(g, scc);
+      for (const WitnessEdge& e : v.cycle) {
+        v.txns.push_back(e.from);
+        v.keys.push_back(e.key);
+      }
+      std::ostringstream os;
+      os << "serialization graph cycle of length " << v.cycle.size() << " ("
+         << scc.size() << " txns entangled)";
+      v.message = os.str();
+      report.violations.push_back(std::move(v));
+    }
   }
   return report;
 }

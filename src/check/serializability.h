@@ -40,9 +40,12 @@ namespace planet {
 
 struct CheckerOptions {
   /// Add read-only accesses (reads of keys the transaction does not write)
-  /// to the graph. Off by default: those reads are read committed, not
-  /// validated, and flagging the resulting write-skew cycles would report
-  /// the documented isolation level as a bug.
+  /// to the graph for *serializable-mode* transactions too. Off by default:
+  /// those reads are read committed, not validated, and flagging the
+  /// resulting write-skew cycles would report the documented isolation
+  /// level as a bug. Weak-mode (read_committed / causal) transactions
+  /// always contribute their unvalidated reads — that is what their mode
+  /// means — with resulting anomalies classified as mode-permitted.
   bool include_unvalidated_reads = false;
 
   /// Treat in-doubt transactions (2PC phase-2 timeouts) as possible writers
@@ -58,6 +61,10 @@ enum class ViolationKind {
   kVersionFork,     ///< two committed writers installed the same version
   kPhantomVersion,  ///< a committed txn observed a never-committed version
   kCycle,           ///< the DSG has a cycle (witness attached)
+  /// A causal-mode session observed a key going backwards in version order
+  /// (monotonic-reads / read-your-writes broken). Never mode-permitted:
+  /// causal is exactly the promise that this cannot happen.
+  kSessionRegression,
 };
 
 const char* ViolationKindName(ViolationKind kind);
@@ -80,6 +87,12 @@ struct Violation {
   std::vector<TxnId> txns;       ///< offending transactions
   std::vector<Key> keys;         ///< offending keys
   std::vector<WitnessEdge> cycle;  ///< kCycle: a shortest cycle
+  /// The anomaly is explained by a weak isolation mode some involved
+  /// transaction ran under (a cycle through a weak unvalidated read, or a
+  /// dirty read by a speculative-visibility read): the run exhibits it, but
+  /// the client asked for an isolation level that permits it. ok() ignores
+  /// permitted violations; the predictive pass counts them as witnesses.
+  bool mode_permitted = false;
 
   std::string ToString() const;
 };
@@ -90,7 +103,23 @@ struct CheckReport {
   size_t committed_txns = 0;  ///< graph nodes considered
   size_t edges = 0;           ///< DSG edges built
 
-  bool ok() const { return violations.empty(); }
+  /// True iff no violation remains after discarding mode-permitted ones —
+  /// the protocol-correctness verdict (fuzzer pass/fail). A weak-mode run
+  /// exhibiting the anomalies its mode allows is still "ok".
+  bool ok() const {
+    for (const Violation& v : violations) {
+      if (!v.mode_permitted) return false;
+    }
+    return true;
+  }
+  /// Number of mode-permitted anomalies observed (witness material).
+  size_t PermittedCount() const {
+    size_t n = 0;
+    for (const Violation& v : violations) {
+      if (v.mode_permitted) ++n;
+    }
+    return n;
+  }
   std::string Summary() const;
 };
 

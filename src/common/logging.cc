@@ -13,6 +13,19 @@ std::string FormatSimTime(SimTime t) {
   return buf;
 }
 
+bool ParseIsolationLevel(const std::string& text, IsolationLevel* out) {
+  if (text == "serializable") {
+    *out = IsolationLevel::kSerializable;
+  } else if (text == "read_committed" || text == "read-committed") {
+    *out = IsolationLevel::kReadCommitted;
+  } else if (text == "causal") {
+    *out = IsolationLevel::kCausal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace logging {
 namespace {
 

@@ -36,6 +36,7 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
     clients_.push_back(std::make_unique<Client>(
         &sim_, net_.get(), next_id++, dc, root.Fork(1000 + i), options_.mdcc,
         peer_ptrs));
+    clients_.back()->SetIsolation(options_.isolation);
     planet_clients_.push_back(
         std::make_unique<PlanetClient>(clients_.back().get(), ctx_.get()));
   }
@@ -74,6 +75,11 @@ void Cluster::SetHistoryRecorder(HistoryRecorder* recorder) {
   PLANET_DCHECK_OWNED(thread_checker_);
   recorder_ = recorder;
   for (auto& c : clients_) c->SetHistoryRecorder(recorder);
+}
+
+void Cluster::SetScheduleDelays(const ScheduleDelays* delays) {
+  PLANET_DCHECK_OWNED(thread_checker_);
+  for (auto& c : clients_) c->SetScheduleDelays(delays);
 }
 
 std::vector<ReplicaState> Cluster::LiveReplicaStates() const {
@@ -189,6 +195,7 @@ TpcCluster::TpcCluster(const TpcClusterOptions& options) : options_(options) {
     clients_.push_back(std::make_unique<TpcClient>(
         &sim_, net_.get(), next_id++, dc, root.Fork(1000 + i), options_.tpc,
         peer_ptrs));
+    clients_.back()->SetIsolation(options_.isolation);
   }
 
   if (!options_.faults.empty()) {
@@ -252,6 +259,11 @@ void TpcCluster::SetHistoryRecorder(HistoryRecorder* recorder) {
   PLANET_DCHECK_OWNED(thread_checker_);
   recorder_ = recorder;
   for (auto& c : clients_) c->SetHistoryRecorder(recorder);
+}
+
+void TpcCluster::SetScheduleDelays(const ScheduleDelays* delays) {
+  PLANET_DCHECK_OWNED(thread_checker_);
+  for (auto& c : clients_) c->SetScheduleDelays(delays);
 }
 
 std::vector<ReplicaState> TpcCluster::LiveReplicaStates() const {

@@ -27,6 +27,9 @@ struct ClusterOptions {
   PlanetConfig planet;
   WanPreset wan = FiveDcWan();
   int clients_per_dc = 1;
+  /// Isolation mode applied to every client. kSerializable (the default)
+  /// leaves the stack byte-identical to the pre-mode behaviour.
+  IsolationLevel isolation = IsolationLevel::kSerializable;
   /// Pending-option resolution period (heals partitioned replicas);
   /// 0 disables the recovery protocol.
   Duration recovery_period = Seconds(10);
@@ -69,6 +72,10 @@ class Cluster {
   /// scheduling and draws no randomness, so runs with and without a
   /// recorder are bit-identical.
   void SetHistoryRecorder(HistoryRecorder* recorder);
+
+  /// Attaches predictive-replay commit delays to every coordinator client
+  /// (see mdcc::Client::SetScheduleDelays). The map must outlive the run.
+  void SetScheduleDelays(const ScheduleDelays* delays);
 
   /// Committed snapshots of every non-crashed replica, as the convergence
   /// oracle wants them (call after quiesce).
@@ -130,6 +137,8 @@ struct TpcClusterOptions {
   TpcConfig tpc;
   WanPreset wan = FiveDcWan();
   int clients_per_dc = 1;
+  /// Isolation mode applied to every client (mirrors ClusterOptions).
+  IsolationLevel isolation = IsolationLevel::kSerializable;
   /// Deterministic fault schedule (same grammar as the MDCC cluster's).
   FaultSchedule faults;
 };
@@ -155,6 +164,7 @@ class TpcCluster {
 
   /// History recording and oracle input, mirroring Cluster.
   void SetHistoryRecorder(HistoryRecorder* recorder);
+  void SetScheduleDelays(const ScheduleDelays* delays);
   std::vector<ReplicaState> LiveReplicaStates() const;
 
   /// Fault effectors for the 2PC stack (crash/restart/partition/heal/spike).

@@ -64,7 +64,8 @@ void Client::Read(TxnId txn, Key key, ReadCallback cb) {
   auto buffered = state->writes.find(key);
   if (buffered != state->writes.end() &&
       buffered->second.kind == OptionKind::kPhysical) {
-    RecordView view{state->read_versions[key], buffered->second.new_value};
+    RecordView view{state->read_versions[key].version,
+                    buffered->second.new_value};
     sim_->Schedule(0, [cb = std::move(cb), view] { cb(Status::OK(), view); });
     return;
   }
@@ -87,32 +88,53 @@ void Client::Read(TxnId txn, Key key, ReadCallback cb) {
   NodeId replica_id = replica->id();
   net_->Send(id_, replica_id, [this, replica, replica_id, txn, key, done,
                                timeout_event, cb = std::move(cb)] {
-    replica->HandleRead(
-        key, id_,
-        [this, replica_id, txn, key, done, timeout_event,
-         cb](RecordView view) {
-          net_->Send(replica_id, id_,
-                     [this, txn, key, done, timeout_event, cb,
-                      view]() mutable {
-            if (*done) return;
-            *done = true;
-            if (*timeout_event != kInvalidEventId) {
-              sim_->Cancel(*timeout_event);
+    // Shared reply path of both read flavours; `speculative` says whether
+    // the view exposes a pending (undecided) option.
+    auto on_view = [this, replica_id, txn, key, done, timeout_event,
+                    cb](RecordView view, bool speculative) {
+      net_->Send(replica_id, id_,
+                 [this, txn, key, done, timeout_event, cb, view,
+                  speculative]() mutable {
+        if (*done) return;
+        *done = true;
+        if (*timeout_event != kInvalidEventId) {
+          sim_->Cancel(*timeout_event);
+        }
+        TxnState* state = Find(txn);
+        if (state != nullptr && !state->done &&
+            state->view.phase == TxnPhase::kExecuting) {
+          if (isolation_ == IsolationLevel::kCausal) {
+            // Session guarantee: never observe a key older than this
+            // session already has. A lagging replica's reply is upgraded
+            // to the remembered floor view.
+            auto floor = session_floor_.find(key);
+            if (floor != session_floor_.end() &&
+                floor->second.version > view.version) {
+              view = floor->second;
+            } else {
+              session_floor_[key] = view;
             }
-            TxnState* state = Find(txn);
-            if (state != nullptr && !state->done &&
-                state->view.phase == TxnPhase::kExecuting) {
-              state->read_versions[key] = view.version;
-              // Read-your-writes for buffered commutative deltas.
-              auto w = state->writes.find(key);
-              if (w != state->writes.end() &&
-                  w->second.kind == OptionKind::kCommutative) {
-                view.value += w->second.delta;
-              }
-            }
-            cb(Status::OK(), view);
-          });
-        });
+          }
+          state->read_versions[key] = ObservedRead{view.version, speculative,
+                                                   Now()};
+          // Read-your-writes for buffered commutative deltas.
+          auto w = state->writes.find(key);
+          if (w != state->writes.end() &&
+              w->second.kind == OptionKind::kCommutative) {
+            view.value += w->second.delta;
+          }
+        }
+        cb(Status::OK(), view);
+      });
+    };
+    if (isolation_ == IsolationLevel::kReadCommitted) {
+      replica->HandleReadSpeculative(key, id_, std::move(on_view));
+    } else {
+      replica->HandleRead(key, id_, [on_view = std::move(on_view)](
+                                        RecordView view) mutable {
+        on_view(view, false);
+      });
+    }
   });
 }
 
@@ -134,7 +156,7 @@ Status Client::Write(TxnId txn, Key key, Value value) {
   option.txn = txn;
   option.key = key;
   option.kind = OptionKind::kPhysical;
-  option.read_version = rv->second;
+  option.read_version = rv->second.version;
   option.new_value = value;
   state->writes[key] = option;
   return Status::OK();
@@ -167,14 +189,35 @@ void Client::Commit(TxnId txn, CommitCallback cb) {
   PLANET_CHECK_MSG(state != nullptr, "commit on unknown txn " << txn);
   PLANET_CHECK(state->view.phase == TxnPhase::kExecuting);
   state->commit_cb = std::move(cb);
-  state->view.propose_time = Now();
 
-  if (state->writes.empty()) {
-    // Read-only: read committed needs no coordination.
-    Decide(*state, true, Status::OK());
+  if (delays_ != nullptr) {
+    auto it = delays_->find(txn);
+    if (it != delays_->end() && it->second > 0) {
+      // Predictive-replay directive: hold the whole commit submission (the
+      // options stay unproposed, so other clients' reads cannot observe
+      // them yet) and propose after the delay.
+      sim_->Schedule(it->second, [this, txn] {
+        TxnState* s = Find(txn);
+        if (s == nullptr || s->done ||
+            s->view.phase != TxnPhase::kExecuting) {
+          return;
+        }
+        StartCommit(*s);
+      });
+      return;
+    }
+  }
+  StartCommit(*state);
+}
+
+void Client::StartCommit(TxnState& state) {
+  state.view.propose_time = Now();
+  if (state.writes.empty()) {
+    // Read-only: needs no coordination.
+    Decide(state, true, Status::OK());
     return;
   }
-  ProposeFast(*state);
+  ProposeFast(state);
 }
 
 void Client::AbortEarly(TxnId txn) {
@@ -416,14 +459,17 @@ void Client::RecordDecision(const TxnState& state, bool commit,
   RecordedTxn rec;
   rec.id = state.view.id;
   rec.client_dc = dc_;
+  rec.client_node = id_;
+  rec.isolation = isolation_;
   rec.begin = state.view.begin_time;
   rec.decide = state.view.decide_time;
   rec.outcome = commit ? TxnOutcome::kCommitted
                 : outcome.IsUnavailable() ? TxnOutcome::kUnavailable
                                           : TxnOutcome::kAborted;
   rec.reads.reserve(state.read_versions.size());
-  for (const auto& [key, version] : state.read_versions) {
-    rec.reads.push_back(RecordedRead{key, version});
+  for (const auto& [key, observed] : state.read_versions) {
+    rec.reads.push_back(
+        RecordedRead{key, observed.version, observed.speculative, observed.at});
   }
   rec.writes.reserve(state.writes.size());
   for (const auto& [key, option] : state.writes) {
@@ -456,6 +502,17 @@ void Client::Decide(TxnState& state, bool commit, Status outcome) {
     ++aborted_;
   }
   SetPhase(state, commit ? TxnPhase::kCommitted : TxnPhase::kAborted);
+
+  if (commit && isolation_ == IsolationLevel::kCausal) {
+    // Read-your-writes across transactions: future session reads must be at
+    // least as fresh as the versions this commit installs.
+    for (const auto& [key, option] : state.writes) {
+      if (option.kind != OptionKind::kPhysical) continue;
+      RecordView installed{option.read_version + 1, option.new_value};
+      RecordView& floor = session_floor_[key];
+      if (installed.version > floor.version) floor = installed;
+    }
+  }
 
   // Visibility broadcast: every replica learns the decision for every option
   // (including replicas that rejected or never voted).

@@ -91,6 +91,12 @@ struct TxnObserver {
   std::function<void(TxnPhase phase)> on_phase;
 };
 
+/// Per-transaction commit-submission delays, keyed by TxnId. Transaction
+/// ids are per-client sequence numbers ((node id << 40) | seq), so they are
+/// stable across replays of the same seed — the predictive pass exploits
+/// this to target one specific transaction of a re-run.
+using ScheduleDelays = std::map<TxnId, Duration>;
+
 /// The client node. One per simulated application server; owns the
 /// coordinators of all transactions it begins. Not thread safe (simulated).
 class Client : public Node {
@@ -156,6 +162,20 @@ class Client : public Node {
   /// events and no RNG draws, so uninstrumented runs stay bit-identical.
   void SetHistoryRecorder(HistoryRecorder* recorder) { recorder_ = recorder; }
 
+  /// Sets the isolation mode for transactions this client begins from now
+  /// on. kSerializable (the default) leaves every code path untouched —
+  /// bit-identical to the pre-mode stack. kReadCommitted switches reads to
+  /// speculative visibility; kCausal adds the client-side session floor
+  /// (monotonic reads / read-your-writes across transactions).
+  void SetIsolation(IsolationLevel isolation) { isolation_ = isolation; }
+  IsolationLevel isolation() const { return isolation_; }
+
+  /// Attaches per-transaction commit-submission delays (predictive-replay
+  /// directives): Commit(txn) defers proposing by the mapped duration.
+  /// Null (the default) adds no lookup side effects; the map must outlive
+  /// the client. Unmatched transactions are unaffected.
+  void SetScheduleDelays(const ScheduleDelays* delays) { delays_ = delays; }
+
   /// This coordinator's view of a key group's mastership epoch.
   int group_epoch(int group) const {
     return group_epoch_[static_cast<size_t>(group)];
@@ -173,12 +193,19 @@ class Client : public Node {
   uint64_t classic_fallbacks() const { return classic_fallbacks_; }
 
  private:
+  /// What one read observed, with the metadata the history records.
+  struct ObservedRead {
+    Version version = 0;
+    bool speculative = false;
+    SimTime at = 0;
+  };
+
   struct TxnState {
     TxnView view;
     // Ordered: these are iterated when proposing and committing, and the
     // iteration order decides message order on the wire — std::map keeps
     // that order platform-independent (hash order is not).
-    std::map<Key, Version> read_versions;
+    std::map<Key, ObservedRead> read_versions;
     std::map<Key, WriteOption> writes;
     CommitCallback commit_cb;
     TxnObserver observer;
@@ -192,6 +219,9 @@ class Client : public Node {
   TxnState* Find(TxnId txn);
   OptionProgress* FindOption(TxnState& state, Key key);
 
+  /// Body of Commit once any schedule delay has elapsed: stamps the propose
+  /// time and proposes (or decides a read-only txn immediately).
+  void StartCommit(TxnState& state);
   void ProposeFast(TxnState& state);
   void StartClassic(TxnState& state, OptionProgress& op);
   void OnVoteEvent(const VoteEvent& event);
@@ -215,6 +245,12 @@ class Client : public Node {
   MdccConfig config_;
   std::vector<Replica*> replicas_;
   HistoryRecorder* recorder_ = nullptr;
+  IsolationLevel isolation_ = IsolationLevel::kSerializable;
+  const ScheduleDelays* delays_ = nullptr;
+  /// kCausal only: highest view of each key this session has observed or
+  /// committed (monotonic reads / read-your-writes across transactions).
+  /// Ordered map for deterministic teardown; accessed per key only.
+  std::map<Key, RecordView> session_floor_;
   std::unordered_map<TxnId, TxnState> txns_;
   std::function<void(const VoteEvent&)> global_vote_listener_;
   std::function<void(Key, bool, bool)> global_option_listener_;

@@ -57,6 +57,14 @@ void Replica::HandleRead(Key key, NodeId reply_to,
         });
 }
 
+void Replica::HandleReadSpeculative(  // planet-lint: allow(std-function-hot-path)
+    Key key, NodeId reply_to, std::function<void(RecordView, bool)> reply) {
+  Serve(config_.replica_service_cost,
+        [this, key, reply_to, reply = std::move(reply)]() mutable {
+          DoReadSpeculative(key, reply_to, std::move(reply));
+        });
+}
+
 VoteReply Replica::TryAccept(const WriteOption& option) {
   VoteReply vote;
   if (decided_.count(option.txn) > 0) {
@@ -317,6 +325,13 @@ void Replica::DoRead(Key key, NodeId reply_to,
                      std::function<void(RecordView)> reply) {
   (void)reply_to;
   reply(store_.Read(key));
+}
+
+void Replica::DoReadSpeculative(  // planet-lint: allow(std-function-hot-path)
+    Key key, NodeId reply_to, std::function<void(RecordView, bool)> reply) {
+  (void)reply_to;
+  SpeculativeView sv = store_.ReadSpeculative(key);
+  reply(sv.view, sv.speculative);
 }
 
 size_t Replica::DeferredCount() const {

@@ -82,9 +82,16 @@ class Replica : public Node {
                         const std::vector<WriteOption>& options);
 
   // -- Reads ------------------------------------------------------------
-  /// Read-committed read of a key's visible state.
+  /// Committed-visibility read of a key (the serializable / causal path).
   void HandleRead(Key key, NodeId reply_to,
                   std::function<void(RecordView)> reply);
+
+  /// Read-committed-visibility read: may expose a pending physical option's
+  /// would-be state (see Store::ReadSpeculative); the reply says whether it
+  /// did. Same service cost as HandleRead.
+  /// Reply callback matches the HandleRead family's public RPC signature.
+  void HandleReadSpeculative(  // planet-lint: allow(std-function-hot-path)
+      Key key, NodeId reply_to, std::function<void(RecordView, bool)> reply);
 
   // -- Recovery ---------------------------------------------------------
   /// Starts the pending-option resolution protocol: every `period`, pending
@@ -168,6 +175,8 @@ class Replica : public Node {
                     const std::vector<WriteOption>& options);
   void DoRead(Key key, NodeId reply_to,
               std::function<void(RecordView)> reply);
+  void DoReadSpeculative(  // planet-lint: allow(std-function-hot-path)
+      Key key, NodeId reply_to, std::function<void(RecordView, bool)> reply);
 
   /// Collects one peer vote for a classic round this node masters.
   void OnMasterVote(uint64_t round_id, VoteReply vote);

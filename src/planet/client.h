@@ -102,6 +102,16 @@ class PlanetClient {
     db_->SetHistoryRecorder(recorder);
   }
 
+  /// Isolation mode of the underlying coordinator (the PLANET layer itself
+  /// performs no reads, so forwarding is the complete semantics).
+  void SetIsolation(IsolationLevel isolation) { db_->SetIsolation(isolation); }
+  IsolationLevel isolation() const { return db_->isolation(); }
+
+  /// Forwards predictive-replay commit delays to the coordinator.
+  void SetScheduleDelays(const ScheduleDelays* delays) {
+    db_->SetScheduleDelays(delays);
+  }
+
   // -- Handle backends (called by PlanetTransaction) ---------------------
   void Read(TxnId txn, Key key, std::function<void(Status, Value)> cb);
   [[nodiscard]] Status Write(TxnId txn, Key key, Value value);

@@ -33,6 +33,18 @@ RecordView Store::Read(Key key) const {
   return RecordView{rec->version, rec->value};
 }
 
+SpeculativeView Store::ReadSpeculative(Key key) const {
+  PLANET_DCHECK_OWNED(thread_checker_);
+  const Record* rec = Find(key);
+  if (rec == nullptr) return SpeculativeView{};
+  for (const WriteOption& p : rec->pending) {
+    if (p.kind == OptionKind::kPhysical) {
+      return SpeculativeView{RecordView{rec->version + 1, p.new_value}, true};
+    }
+  }
+  return SpeculativeView{RecordView{rec->version, rec->value}, false};
+}
+
 void Store::SeedValue(Key key, Value value) {
   PLANET_DCHECK_OWNED(thread_checker_);
   Record& rec = FindOrCreate(key);

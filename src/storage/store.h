@@ -28,6 +28,13 @@ struct RecordView {
   bool operator==(const RecordView&) const = default;
 };
 
+/// Result of a speculative (read-committed visibility) read: the view plus
+/// whether it exposes an accepted-but-undecided pending option.
+struct SpeculativeView {
+  RecordView view;
+  bool speculative = false;
+};
+
 /// Demarcation bounds for commutative updates on a key.
 struct ValueBounds {
   Value lower = 0;
@@ -76,6 +83,14 @@ class Store {
 
   /// Committed view of a key (version 0 / value 0 if never written).
   RecordView Read(Key key) const;
+
+  /// Read-committed-visibility read: if the record carries a pending
+  /// *physical* option (there is at most one — the conflict check rejects
+  /// seconds), the returned view exposes its would-be state
+  /// (version + 1, new_value) and is flagged speculative. Pending
+  /// commutative deltas are not exposed: they install no version, so a
+  /// speculative counter view would be unattributable to any chain state.
+  SpeculativeView ReadSpeculative(Key key) const;
 
   /// Seeds a committed value without going through the protocol (workload
   /// initialisation). Bumps the version.

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Replays every .repro file in the corpus directory against planet_fuzz.
+#
+# A .repro file holds one fuzzer invocation (arguments only, '#' comments
+# and blank lines ignored). The expected verdict is encoded in the line
+# itself: lines carrying --expect-violation / --expect-witness exit 0 only
+# when the bug (or witness) still reproduces; plain lines are clean-run
+# pins that exit non-zero if a violation appears. Either way, exit 0 means
+# "the corpus entry still behaves as recorded".
+#
+# Usage: replay.sh <planet_fuzz-binary> <corpus-dir>
+set -u
+
+fuzz="$1"
+corpus="$2"
+
+if [ ! -x "$fuzz" ]; then
+  echo "replay.sh: fuzzer binary '$fuzz' not found" >&2
+  exit 2
+fi
+
+shopt -s nullglob
+files=("$corpus"/*.repro)
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "replay.sh: no .repro files in $corpus" >&2
+  exit 2
+fi
+
+failures=0
+for file in "${files[@]}"; do
+  # First non-comment, non-blank line is the argument vector.
+  line=$(grep -v '^[[:space:]]*#' "$file" | grep -v '^[[:space:]]*$' | head -1)
+  if [ -z "$line" ]; then
+    echo "replay.sh: $file has no repro line" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  name=$(basename "$file")
+  # shellcheck disable=SC2086  # the repro line is intentionally word-split
+  if "$fuzz" $line > /dev/null 2>&1; then
+    echo "corpus $name: OK"
+  else
+    echo "corpus $name: FAILED to replay as recorded:" >&2
+    echo "    planet_fuzz $line" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+exit $((failures > 0 ? 1 : 0))

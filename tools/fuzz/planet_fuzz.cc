@@ -18,6 +18,14 @@
 // lost-update bug). Both oracles must flag such runs; --expect-violation
 // inverts the exit code so CI can assert the oracles still have teeth.
 //
+// Predictive mode: --predict runs the IsoPredict-style analysis over each
+// clean run's history (see check/predict.h). Every predicted reordering is
+// replayed on the same seed with its delay directives applied; a replay
+// whose checker reports a mode-permitted cycle *confirms* the prediction,
+// and the confirmed scenario is shrunk to a repro line carrying
+// --isolation and --delay-txn flags. --expect-witness inverts the exit
+// code around witnesses the way --expect-violation does around bugs.
+//
 // Exit codes: 0 = clean (or violation found under --expect-violation),
 // 1 = violation found (or none found under --expect-violation), 2 = usage.
 #include <algorithm>
@@ -26,12 +34,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "check/convergence.h"
+#include "check/predict.h"
 #include "check/serializability.h"
 #include "fault/fault.h"
 #include "harness/cluster.h"
@@ -66,6 +76,16 @@ struct FuzzFlags {
   std::string artifact;
   bool verbose = false;
   int64_t dump_key = -1;  ///< debug: dump one key's WAL + history post-run
+  /// Isolation mode every client runs under (tentpole knobs).
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+  bool predict = false;         ///< run the predictive pass on clean runs
+  bool expect_witness = false;  ///< exit 0 iff >= 1 witness (predict mode)
+  ScheduleDelays delays;        ///< --delay-txn replay directives
+  /// Workload overrides (-1 = derived); repro lines carry them so
+  /// predictive witnesses replay with the exact contention shape.
+  int64_t keys_override = -1;
+  int reads_override = -1;
+  int writes_override = -1;
 };
 
 /// One fully derived scenario. Everything the run depends on lives here, so
@@ -81,6 +101,15 @@ struct FuzzCase {
   /// PLANET runner policy knobs (0 deadline = speculation disabled).
   Duration speculation_deadline = 0;
   int64_t dump_key = -1;  ///< debug: dump one key's WAL + history post-run
+  /// Isolation mode for every client (kSerializable = pre-mode behaviour).
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+  /// Commit-submission delays applied on predictive replays. TxnIds are
+  /// per-client sequence numbers, stable across replays of the same seed.
+  ScheduleDelays delays;
+  /// Echo of the workload override flags, for exact repro lines.
+  int64_t keys_override = -1;
+  int reads_override = -1;
+  int writes_override = -1;
 };
 
 /// Debug aid (--dump-key): prints one key's per-replica state, its WAL
@@ -269,6 +298,23 @@ FuzzCase DeriveCase(uint64_t seed, const FuzzFlags& flags) {
                          ? flags.clients_override
                          : static_cast<int>(Rng(seed).Fork(15).UniformInt(1, 3));
 
+  // Workload overrides land after every derivation draw, so they never
+  // shift another aspect's stream.
+  c.isolation = flags.isolation;
+  c.delays = flags.delays;
+  c.keys_override = flags.keys_override;
+  c.reads_override = flags.reads_override;
+  c.writes_override = flags.writes_override;
+  if (flags.keys_override > 0) {
+    c.wl.num_keys = static_cast<uint64_t>(flags.keys_override);
+    if (c.wl.dist == KeyDist::kHotspot) {
+      c.wl.hot_keys = std::max<uint64_t>(1, c.wl.num_keys / 8);
+    }
+  }
+  if (flags.reads_override >= 0) c.wl.reads_per_txn = flags.reads_override;
+  if (flags.writes_override >= 0) c.wl.writes_per_txn = flags.writes_override;
+  if (c.wl.writes_per_txn == 0) c.wl.commutative = false;
+
   if (c.stack == StackKind::kTpc) {
     // 2PC has no anti-entropy: replicas a fault made miss replication stay
     // behind forever, which is the baseline's documented blocking behaviour,
@@ -299,8 +345,19 @@ struct RunOutcome {
   size_t recorded_txns = 0;
   CheckReport serial;
   ConvergenceReport conv;
+  History history;  ///< recorded run, input of the predictive pass
 
   bool violated() const { return !serial.ok() || !conv.ok(); }
+
+  /// Mode-permitted serialization cycles: the witness material weak
+  /// isolation modes are fuzzed for (not protocol bugs, so not violated()).
+  size_t witnesses() const {
+    size_t n = 0;
+    for (const Violation& v : serial.violations) {
+      if (v.mode_permitted && v.kind == ViolationKind::kCycle) ++n;
+    }
+    return n;
+  }
 
   std::string ViolationText() const {
     std::ostringstream oss;
@@ -334,10 +391,12 @@ RunOutcome RunMdccOrPlanet(const FuzzCase& c) {
   options.mdcc.chaos_drop_learn = c.chaos_drop_learn;
   options.recovery_period = Seconds(1);
   options.faults = c.faults;
+  options.isolation = c.isolation;
   Cluster cluster(options);
 
   HistoryRecorder recorder;
   cluster.SetHistoryRecorder(&recorder);
+  if (!c.delays.empty()) cluster.SetScheduleDelays(&c.delays);
   SeedKeys(cluster, c);
 
   RunOutcome out;
@@ -376,6 +435,7 @@ RunOutcome RunMdccOrPlanet(const FuzzCase& c) {
   out.serial = CheckSerializability(history);
   out.conv = CheckConvergence(cluster.LiveReplicaStates(), &history);
   if (c.dump_key >= 0) DumpKey(cluster, history, Key(c.dump_key));
+  out.history = history;
   return out;
 }
 
@@ -385,10 +445,12 @@ RunOutcome RunTpc(const FuzzCase& c) {
   options.clients_per_dc = c.clients_per_dc;
   options.tpc.txn_timeout = Seconds(2);
   options.tpc.read_timeout = Millis(500);
+  options.isolation = c.isolation;
   TpcCluster cluster(options);
 
   HistoryRecorder recorder;
   cluster.SetHistoryRecorder(&recorder);
+  if (!c.delays.empty()) cluster.SetScheduleDelays(&c.delays);
   SeedKeys(cluster, c);
 
   RunOutcome out;
@@ -413,6 +475,7 @@ RunOutcome RunTpc(const FuzzCase& c) {
   serial_options.allow_in_doubt_writers = true;
   out.serial = CheckSerializability(history, serial_options);
   out.conv = CheckConvergence(cluster.LiveReplicaStates(), &history);
+  out.history = history;
   return out;
 }
 
@@ -433,6 +496,15 @@ std::string ReproLine(const FuzzCase& c) {
         << (c.faults.empty() ? std::string("none") : ScheduleSpec(c.faults))
         << "'";
   }
+  if (c.isolation != IsolationLevel::kSerializable) {
+    oss << " --isolation " << IsolationLevelName(c.isolation);
+  }
+  if (c.keys_override > 0) oss << " --keys " << c.keys_override;
+  if (c.reads_override >= 0) oss << " --reads " << c.reads_override;
+  if (c.writes_override >= 0) oss << " --writes " << c.writes_override;
+  for (const auto& [txn, delay] : c.delays) {
+    oss << " --delay-txn " << txn << ":" << delay;
+  }
   return oss.str();
 }
 
@@ -442,17 +514,27 @@ std::string CaseSummary(const FuzzCase& c) {
       << " rw=" << c.wl.reads_per_txn << "/" << c.wl.writes_per_txn
       << (c.wl.commutative ? " comm" : "") << " clients=" << c.clients_per_dc
       << "x5 faults=" << c.faults.size();
+  if (c.isolation != IsolationLevel::kSerializable) {
+    oss << " iso=" << IsolationLevelName(c.isolation);
+  }
+  if (!c.delays.empty()) oss << " delays=" << c.delays.size();
   return oss.str();
 }
 
 /// Greedy schedule/duration/client minimization: keep any mutation that
-/// still violates an oracle. Every candidate is a full deterministic re-run,
-/// so the surviving scenario is replayable as printed.
-FuzzCase Shrink(FuzzCase c, int* runs_out) {
+/// still satisfies `bad` (oracle violation by default; mode-permitted
+/// witness reproduction for predictive shrinks). Every candidate is a full
+/// deterministic re-run, so the surviving scenario is replayable as
+/// printed. When delay directives are present the client population is
+/// left alone: TxnIds embed the issuing client's node id, and dropping
+/// clients could unmoor a directive from its transaction.
+FuzzCase Shrink(FuzzCase c, int* runs_out,
+                const std::function<bool(const RunOutcome&)>& bad =
+                    [](const RunOutcome& out) { return out.violated(); }) {
   int runs = 0;
   auto still_fails = [&](const FuzzCase& candidate) {
     ++runs;
-    return RunCase(candidate).violated();
+    return bad(RunCase(candidate));
   };
 
   // 1. Drop fault events. Single events first; if Validate rejects the
@@ -488,8 +570,8 @@ FuzzCase Shrink(FuzzCase c, int* runs_out) {
     c = candidate;
   }
 
-  // 3. Fewer clients.
-  while (c.clients_per_dc > 1) {
+  // 3. Fewer clients (skipped when delay directives pin client node ids).
+  while (c.delays.empty() && c.clients_per_dc > 1) {
     FuzzCase candidate = c;
     candidate.clients_per_dc = c.clients_per_dc - 1;
     if (!still_fails(candidate)) break;
@@ -513,6 +595,19 @@ int Usage() {
       "  --fault SPEC          override derived fault schedule ('none' = off)\n"
       "  --chaos-drop-learn N  oracle self-test: drop first N learns per\n"
       "                        non-DC0 replica (must produce violations)\n"
+      "  --isolation MODE      serializable | read_committed | causal\n"
+      "                        (default serializable, the validated mode)\n"
+      "  --keys N              override derived key-space size\n"
+      "  --reads N             override derived reads per txn\n"
+      "  --writes N            override derived writes per txn\n"
+      "  --predict             predictive pass: enumerate feasible commit\n"
+      "                        reorderings of each clean run, replay each\n"
+      "                        with delay directives, report confirmed\n"
+      "                        unserializable witnesses (shrunk)\n"
+      "  --delay-txn T:MICROS  delay txn T's commit submission (repeatable;\n"
+      "                        how witness repro lines replay)\n"
+      "  --expect-witness      exit 0 iff at least one mode-permitted\n"
+      "                        witness was observed or confirmed\n"
       "  --expect-violation    exit 0 iff at least one violation was found\n"
       "  --no-shrink           report the first failure unminimized\n"
       "  --artifact PATH       write the shrunk repro + witness to PATH\n"
@@ -549,6 +644,33 @@ int Main(int argc, char** argv) {
       flags.fault_override = next();
     } else if (arg == "--chaos-drop-learn") {
       flags.chaos_drop_learn = std::atoi(next());
+    } else if (arg == "--isolation") {
+      const char* mode = next();
+      if (!ParseIsolationLevel(mode, &flags.isolation)) {
+        std::fprintf(stderr, "bad --isolation: %s\n", mode);
+        return Usage();
+      }
+    } else if (arg == "--keys") {
+      flags.keys_override = std::atoll(next());
+    } else if (arg == "--reads") {
+      flags.reads_override = std::atoi(next());
+    } else if (arg == "--writes") {
+      flags.writes_override = std::atoi(next());
+    } else if (arg == "--predict") {
+      flags.predict = true;
+    } else if (arg == "--expect-witness") {
+      flags.expect_witness = true;
+    } else if (arg == "--delay-txn") {
+      std::string spec = next();
+      size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "bad --delay-txn (want TXN:MICROS): %s\n",
+                     spec.c_str());
+        return Usage();
+      }
+      TxnId txn = std::strtoull(spec.substr(0, colon).c_str(), nullptr, 10);
+      Duration delay = std::atoll(spec.substr(colon + 1).c_str());
+      flags.delays[txn] += delay;
     } else if (arg == "--expect-violation") {
       flags.expect_violation = true;
     } else if (arg == "--no-shrink") {
@@ -587,6 +709,7 @@ int Main(int argc, char** argv) {
 
   RunMetrics totals;
   int violations_found = 0;
+  size_t witnesses_found = 0;
   for (uint64_t seed : seeds) {
     FuzzCase c = DeriveCase(seed, flags);
     RunOutcome out = RunCase(c);
@@ -598,7 +721,99 @@ int Main(int argc, char** argv) {
                   static_cast<unsigned long long>(out.metrics.committed),
                   out.violated() ? "VIOLATION" : "ok");
     }
-    if (!out.violated()) continue;
+    if (!out.violated()) {
+      // Witnesses the base run already exhibits (weak-mode anomalies the
+      // checker classified as mode-permitted).
+      witnesses_found += out.witnesses();
+      if (out.witnesses() > 0 && (flags.expect_witness || flags.verbose)) {
+        for (const Violation& v : out.serial.violations) {
+          if (v.mode_permitted) {
+            std::printf("  [witness] %s\n", v.ToString().c_str());
+          }
+        }
+      }
+      if (!flags.predict) continue;
+
+      // Predictive pass: enumerate feasible reorderings of this clean
+      // history, replay each with its delay directives, keep the confirmed.
+      std::vector<PredictedViolation> predictions =
+          PredictReorderings(out.history);
+      int confirmed = 0;
+      for (const PredictedViolation& p : predictions) {
+        FuzzCase candidate = c;
+        for (const DelayDirective& d : p.directives) {
+          candidate.delays[d.txn] += d.delay;
+        }
+        // Confirmation is anchored, not incidental: the replay must show a
+        // mode-permitted cycle that involves the predicted reader or the
+        // delayed writer — a cycle the base run happened to contain anyway
+        // does not vindicate the prediction.
+        auto still_witnesses = [&p](const RunOutcome& o) {
+          if (o.violated()) return false;
+          for (const Violation& v : o.serial.violations) {
+            if (!v.mode_permitted || v.kind != ViolationKind::kCycle) {
+              continue;
+            }
+            for (TxnId t : v.txns) {
+              if (t == p.reader || t == p.writer) return true;
+            }
+          }
+          return false;
+        };
+        RunOutcome replay = RunCase(candidate);
+        if (replay.violated()) {
+          // The perturbed schedule exposed a real protocol bug — promote it
+          // to a first-class violation with its own repro line.
+          ++violations_found;
+          std::printf("seed %llu: VIOLATION on predictive replay (%s)\n",
+                      static_cast<unsigned long long>(seed),
+                      CaseSummary(candidate).c_str());
+          std::printf("%s", replay.ViolationText().c_str());
+          std::printf("repro: %s\n", ReproLine(candidate).c_str());
+          continue;
+        }
+        if (!still_witnesses(replay)) {
+          if (flags.verbose) {
+            std::printf("  [refuted] %s\n", p.ToString().c_str());
+          }
+          continue;
+        }
+        ++confirmed;
+        ++witnesses_found;
+        std::printf("seed %llu: witness CONFIRMED: %s\n",
+                    static_cast<unsigned long long>(seed),
+                    p.ToString().c_str());
+        FuzzCase shrunk = candidate;
+        int shrink_runs = 0;
+        if (!flags.no_shrink) {
+          shrunk = Shrink(candidate, &shrink_runs, still_witnesses);
+          std::printf("shrunk after %d candidate runs: %s\n", shrink_runs,
+                      CaseSummary(shrunk).c_str());
+        }
+        RunOutcome final_out = flags.no_shrink ? std::move(replay)
+                                               : RunCase(shrunk);
+        std::string repro = ReproLine(shrunk);
+        std::printf("witness repro: %s\n", repro.c_str());
+        for (const Violation& v : final_out.serial.violations) {
+          if (v.mode_permitted) {
+            std::printf("  [witness] %s\n", v.ToString().c_str());
+          }
+        }
+        if (!flags.artifact.empty()) {
+          std::ofstream file(flags.artifact);
+          file << "# planet_fuzz confirmed predictive witness\n"
+               << "repro: " << repro << "\n"
+               << "scenario: " << CaseSummary(shrunk) << "\n"
+               << "prediction: " << p.ToString() << "\n"
+               << "serializability: " << final_out.serial.Summary() << "\n";
+          std::printf("artifact written to %s\n", flags.artifact.c_str());
+        }
+      }
+      std::printf("predict[seed %llu]: %zu predicted, %d confirmed\n",
+                  static_cast<unsigned long long>(seed), predictions.size(),
+                  confirmed);
+      continue;
+    }
 
     ++violations_found;
     std::printf("seed %llu: VIOLATION (%s)\n",
@@ -632,12 +847,21 @@ int Main(int argc, char** argv) {
 
   std::printf(
       "planet_fuzz: %zu seed(s), %llu committed / %llu attempted txns, "
-      "%d violation(s)\n",
+      "%d violation(s), %zu witness(es)\n",
       seeds.size(), static_cast<unsigned long long>(totals.committed),
-      static_cast<unsigned long long>(totals.attempted()), violations_found);
+      static_cast<unsigned long long>(totals.attempted()), violations_found,
+      witnesses_found);
   if (flags.expect_violation) {
     if (violations_found == 0) {
       std::printf("expected a violation (oracle self-test) but found none\n");
+      return 1;
+    }
+    return 0;
+  }
+  if (flags.expect_witness) {
+    if (violations_found > 0) return 1;  // a real bug still fails the run
+    if (witnesses_found == 0) {
+      std::printf("expected a mode-permitted witness but found none\n");
       return 1;
     }
     return 0;

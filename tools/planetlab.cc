@@ -50,6 +50,9 @@ struct Args {
   int think_ms = 0;     // closed loop think time
   // stack
   std::string stack = "planet";
+  /// Client-visible isolation mode; the serializable default is
+  /// byte-identical to the pre-mode stack (goldens depend on that).
+  IsolationLevel isolation = IsolationLevel::kSerializable;
   // PLANET policy
   int deadline_ms = 0;
   double threshold = -1;
@@ -88,6 +91,8 @@ workload:   --keys N          key-space size
 driver:     --rate R          open-loop arrivals/s per client
             --think MS        closed-loop think time (default closed, 0ms)
 stack:      --stack S         planet | mdcc | 2pc
+            --isolation MODE  serializable | read_committed | causal
+                              (client visibility; default serializable)
 planet:     --deadline MS     speculation deadline
             --threshold X     speculate when likelihood >= X
             --giveup          below threshold, notify "pending"
@@ -152,6 +157,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->think_ms = atoi(need(i));
     } else if (a == "--stack") {
       args->stack = need(i);
+    } else if (a == "--isolation") {
+      const char* mode = need(i);
+      if (!ParseIsolationLevel(mode, &args->isolation)) {
+        std::fprintf(stderr, "--isolation wants serializable | "
+                             "read_committed | causal, got %s\n", mode);
+        return false;
+      }
     } else if (a == "--deadline") {
       args->deadline_ms = atoi(need(i));
     } else if (a == "--threshold") {
@@ -279,6 +291,9 @@ void ExportJson(const Args& args, const LabResult& r) {
   point.Param("reads", (long long)args.reads);
   point.Param("writes", (long long)args.writes);
   point.Param("commutative", (long long)(args.commutative ? 1 : 0));
+  if (args.isolation != IsolationLevel::kSerializable) {
+    point.Param("isolation", IsolationLevelName(args.isolation));
+  }
   if (args.rate > 0) point.Param("rate_per_client", args.rate);
   if (args.deadline_ms > 0) {
     point.Param("deadline_ms", (long long)args.deadline_ms);
@@ -305,6 +320,7 @@ LabResult RunTpc(const Args& args) {
   options.tpc.num_dcs = args.dcs;
   options.wan = args.dcs == 5 ? FiveDcWan() : UniformWan(args.dcs, 50.0);
   options.clients_per_dc = args.clients_per_dc;
+  options.isolation = args.isolation;
   options.faults = args.faults;
   TpcCluster cluster(options);
   if (args.spike) {
@@ -336,6 +352,7 @@ LabResult RunTpcSharded(const Args& args) {
   base.tpc.num_dcs = args.dcs;
   base.wan = args.dcs == 5 ? FiveDcWan() : UniformWan(args.dcs, 50.0);
   base.clients_per_dc = args.clients_per_dc;
+  base.isolation = args.isolation;
   base.faults = args.faults;
   if (args.spike) {
     std::fprintf(stderr, "note: --spike applies to the mdcc/planet stacks\n");
@@ -376,6 +393,7 @@ LabResult RunMdccOrPlanetSharded(const Args& args) {
   base.mdcc.num_dcs = args.dcs;
   base.wan = args.dcs == 5 ? FiveDcWan() : UniformWan(args.dcs, 50.0);
   base.clients_per_dc = args.clients_per_dc;
+  base.isolation = args.isolation;
   base.planet.enable_admission = args.admission > 0;
   base.planet.admission_threshold = args.admission;
   base.faults = args.faults;
@@ -458,6 +476,7 @@ LabResult RunMdccOrPlanet(const Args& args) {
   options.mdcc.num_dcs = args.dcs;
   options.wan = args.dcs == 5 ? FiveDcWan() : UniformWan(args.dcs, 50.0);
   options.clients_per_dc = args.clients_per_dc;
+  options.isolation = args.isolation;
   options.planet.enable_admission = args.admission > 0;
   options.planet.admission_threshold = args.admission;
   options.faults = args.faults;
