@@ -45,11 +45,13 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{"ThreadPool::mu_"};
   CondVar work_cv_;   ///< signals workers: job or stop
   CondVar done_cv_;   ///< signals Wait(): all jobs finished
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
-  std::vector<std::thread> workers_;  ///< written only by the constructor
+  /// Written only by the constructor (before any worker runs) and joined
+  /// by the destructor (after stop_); never touched while workers execute.
+  std::vector<std::thread> workers_;  // planet-lint: allow(guarded-field)
   int active_ GUARDED_BY(mu_) = 0;    ///< jobs currently executing
   bool stop_ GUARDED_BY(mu_) = false; ///< destructor has begun
   std::exception_ptr first_error_ GUARDED_BY(mu_);

@@ -291,12 +291,14 @@ bool TpcCluster::ReplicasConverged() const {
 void Cluster::DetachFromThread() {
   thread_checker_.DetachFromThread();
   sim_.DetachFromThread();
+  net_->DetachFromThread();
   for (auto& r : replicas_) r->store().DetachFromThread();
 }
 
 void TpcCluster::DetachFromThread() {
   thread_checker_.DetachFromThread();
   sim_.DetachFromThread();
+  net_->DetachFromThread();
   for (auto& node : nodes_) node->store().DetachFromThread();
 }
 

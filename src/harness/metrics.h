@@ -10,7 +10,9 @@
 namespace planet {
 
 /// Aggregates TxnResults from any stack's load generators.
-struct RunMetrics {
+// Sharded runs keep one RunMetrics per WorkerContext (worker-private) and
+// merge them in shard order after the workers join; never shared live.
+struct RunMetrics {  // planet-lint: allow(shard-unchecked)
   uint64_t committed = 0;
   uint64_t aborted = 0;      ///< conflict aborts
   uint64_t unavailable = 0;  ///< timeouts / partitions

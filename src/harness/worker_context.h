@@ -13,7 +13,9 @@
 namespace planet {
 
 /// Everything one sim-shard worker owns outside the cluster object itself.
-struct WorkerContext {
+// Worker-private by construction (that is this type's whole purpose); the
+// driver reads it only after the owning worker joined.
+struct WorkerContext {  // planet-lint: allow(shard-unchecked)
   WorkerContext(int shard_id_in, Rng rng_in)
       : shard_id(shard_id_in), rng(rng_in) {}
 

@@ -583,22 +583,19 @@ void Client::SetObserver(TxnId txn, TxnObserver observer) {
   state->observer = std::move(observer);
 }
 
-void Client::SetGlobalVoteListener(
-    std::function<void(const VoteEvent&)> listener) {
+void Client::SetGlobalVoteListener(VoteListener listener) {
   global_vote_listener_ = std::move(listener);
 }
 
-void Client::SetGlobalOptionListener(
-    std::function<void(Key, bool, bool)> listener) {
+void Client::SetGlobalOptionListener(OptionListener listener) {
   global_option_listener_ = std::move(listener);
 }
 
-void Client::SetGlobalSendListener(std::function<void(DcId)> listener) {
+void Client::SetGlobalSendListener(SendListener listener) {
   global_send_listener_ = std::move(listener);
 }
 
-void Client::SetGlobalClassicListener(
-    std::function<void(DcId, bool, Duration)> listener) {
+void Client::SetGlobalClassicListener(ClassicListener listener) {
   global_classic_listener_ = std::move(listener);
 }
 

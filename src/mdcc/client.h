@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "check/history.h"
+#include "common/inline_function.h"
 #include "common/status.h"
 #include "mdcc/config.h"
 #include "mdcc/replica.h"
@@ -84,11 +85,15 @@ struct TxnView {
   std::vector<OptionProgress> options;
 };
 
-/// Hooks fired while a transaction is in flight.
+/// Hooks fired while a transaction is in flight. The hooks use the
+/// simulator's small-buffer callable (move-only), so installing an observer
+/// never allocates: every hook fires on the commit hot path. 32 bytes holds
+/// the [this, txn] captures PLANET installs with room to spare.
 struct TxnObserver {
-  std::function<void(const VoteEvent&)> on_vote;
-  std::function<void(Key key, bool chosen, bool via_classic)> on_option_decided;
-  std::function<void(TxnPhase phase)> on_phase;
+  InlineFunction<void(const VoteEvent&), 32> on_vote;
+  InlineFunction<void(Key key, bool chosen, bool via_classic), 32>
+      on_option_decided;
+  InlineFunction<void(TxnPhase phase), 32> on_phase;
 };
 
 /// Per-transaction commit-submission delays, keyed by TxnId. Transaction
@@ -103,6 +108,15 @@ class Client : public Node {
  public:
   using ReadCallback = std::function<void(Status, RecordView)>;
   using CommitCallback = std::function<void(Status)>;
+  /// Predictor-feed listeners fire on every vote / decision / send, so they
+  /// share the observers' no-allocation callable. The predictor installs
+  /// [this] lambdas; 32 bytes leaves headroom for a fatter consumer.
+  using VoteListener = InlineFunction<void(const VoteEvent&), 32>;
+  using OptionListener =
+      InlineFunction<void(Key key, bool chosen, bool via_classic), 32>;
+  using SendListener = InlineFunction<void(DcId dst_dc), 32>;
+  using ClassicListener =
+      InlineFunction<void(DcId master_dc, bool chosen, Duration rtt), 32>;
 
   Client(Simulator* sim, Network* net, NodeId id, DcId dc, Rng rng,
          const MdccConfig& config, std::vector<Replica*> replicas);
@@ -141,20 +155,18 @@ class Client : public Node {
   void SetObserver(TxnId txn, TxnObserver observer);
 
   /// Sees every vote this client ever observes (predictor feed).
-  void SetGlobalVoteListener(std::function<void(const VoteEvent&)> listener);
+  void SetGlobalVoteListener(VoteListener listener);
 
   /// Sees every option decision (predictor feed: option-level outcomes).
-  void SetGlobalOptionListener(
-      std::function<void(Key key, bool chosen, bool via_classic)> listener);
+  void SetGlobalOptionListener(OptionListener listener);
 
   /// Sees every protocol request this client sends, keyed by destination
   /// DC (predictor feed: reachability probes).
-  void SetGlobalSendListener(std::function<void(DcId dst_dc)> listener);
+  void SetGlobalSendListener(SendListener listener);
 
   /// Sees every classic-proposal reply with the master DC that answered
   /// (predictor feed: reachability acks for masters that never fast-vote).
-  void SetGlobalClassicListener(
-      std::function<void(DcId master_dc, bool chosen, Duration rtt)> listener);
+  void SetGlobalClassicListener(ClassicListener listener);
 
   /// Attaches a history recorder: every decided transaction is logged with
   /// its validated reads, writes, outcome and timestamps (correctness
@@ -252,10 +264,10 @@ class Client : public Node {
   /// Ordered map for deterministic teardown; accessed per key only.
   std::map<Key, RecordView> session_floor_;
   std::unordered_map<TxnId, TxnState> txns_;
-  std::function<void(const VoteEvent&)> global_vote_listener_;
-  std::function<void(Key, bool, bool)> global_option_listener_;
-  std::function<void(DcId)> global_send_listener_;
-  std::function<void(DcId, bool, Duration)> global_classic_listener_;
+  VoteListener global_vote_listener_;
+  OptionListener global_option_listener_;
+  SendListener global_send_listener_;
+  ClassicListener global_classic_listener_;
   /// This coordinator's mastership-epoch view per key group. Advanced by
   /// failover timeouts and by epoch hints in classic replies; never moves
   /// backward, so a revived old master is simply not used again.

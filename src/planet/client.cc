@@ -177,7 +177,7 @@ void PlanetClient::Commit(TxnId txn,
       SetStage(*st, PlanetStage::kClassicFallback);
     }
   };
-  db_->SetObserver(txn, observer);
+  db_->SetObserver(txn, std::move(observer));
 
   SetStage(*state, PlanetStage::kSubmitted);
   if (state->timeout > 0) {

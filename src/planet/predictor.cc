@@ -464,7 +464,9 @@ std::vector<CalibrationTracker::Bucket> CalibrationTracker::Buckets() const {
         bucket.total > 0
             ? predicted_sum_[static_cast<size_t>(b)] / double(bucket.total)
             : 0.0;
-    out.push_back(bucket);
+    // Emit-path only: builds the calibration report after a run drains
+    // (the analyzer reaches it through name-based `.Reset()` fan-out).
+    out.push_back(bucket);  // planet-lint: allow(hot-path-alloc)
   }
   return out;
 }

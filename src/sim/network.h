@@ -23,6 +23,7 @@
 
 #include "common/inline_function.h"
 #include "common/rng.h"
+#include "common/thread_checker.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -93,6 +94,7 @@ class Network {
   /// InlineFunctionHeapFallbacks).
   template <typename F>
   void Send(NodeId src, NodeId dst, F&& deliver) {
+    PLANET_DCHECK_OWNED(thread_checker_);
     Duration delay;
     if (!PrepareSend(src, dst, &delay)) return;
     // Deliveries re-check liveness: a message in flight toward a node that
@@ -111,6 +113,10 @@ class Network {
   /// runtime derives its exchange horizon from (sim/sharded.h): a message
   /// sent at time t can never need delivery before t + MinLinkFloor().
   Duration MinLinkFloor() const;
+
+  /// Releases single-owner thread affinity (ownership transfer); part of
+  /// the Cluster::DetachFromThread hand-off the sharded runtime relies on.
+  void DetachFromThread() { thread_checker_.DetachFromThread(); }
 
   /// Introspection for experiments.
   uint64_t messages_sent() const { return messages_sent_; }
@@ -163,6 +169,9 @@ class Network {
   }
   Duration SampleCell(const LinkState& link, DcId src, DcId dst);
 
+  /// Like Simulator/Store: a Network is single-owner state handed between
+  /// threads only through DetachFromThread (asserted on the Send path).
+  ThreadChecker thread_checker_;
   Simulator* sim_;
   Rng rng_;
   std::vector<DcId> node_dc_;

@@ -1,0 +1,32 @@
+// Fixture: an allocation two calls below the hot-path root. The fixture's
+// Simulator::Run stands in for the real event loop; EventLog::Append's
+// push_back has no grandfather baseline, so planet_analyze must flag it
+// with the chain Simulator::Run -> EventLog::Append.
+#ifndef FIXTURE_SIM_HOTPATH_H_
+#define FIXTURE_SIM_HOTPATH_H_
+
+#include <vector>
+
+namespace planet {
+
+class EventLog {
+ public:
+  void Append(int value) { entries_.push_back(value); }
+
+ private:
+  std::vector<int> entries_;
+};
+
+class Simulator {
+ public:
+  void Run() {
+    for (int i = 0; i < 4; ++i) log_.Append(i);
+  }
+
+ private:
+  EventLog log_;
+};
+
+}  // namespace planet
+
+#endif  // FIXTURE_SIM_HOTPATH_H_

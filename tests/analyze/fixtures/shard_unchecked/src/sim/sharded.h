@@ -1,0 +1,22 @@
+// Fixture: stands in for the real sharded runtime header (the audit keys
+// on this path). It references Widget, which crosses the window barrier
+// with neither lock annotations nor a ThreadChecker — Widget must be
+// flagged; FixtureRuntime itself (defined in a sharded file) must not.
+#ifndef FIXTURE_SIM_SHARDED_H_
+#define FIXTURE_SIM_SHARDED_H_
+
+#include "harness/widget.h"
+
+namespace planet {
+
+class FixtureRuntime {
+ public:
+  void Drive(Widget& widget) { widget.Poke(); }
+
+ private:
+  int rounds_ = 0;
+};
+
+}  // namespace planet
+
+#endif  // FIXTURE_SIM_SHARDED_H_

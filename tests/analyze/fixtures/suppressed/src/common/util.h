@@ -1,0 +1,34 @@
+// Fixture helper: the wall-clock fact is suppressed on its line with the
+// transitive rule id; the analyzer must treat the function as a barrier.
+#ifndef FIXTURE_SUPPRESSED_COMMON_UTIL_H_
+#define FIXTURE_SUPPRESSED_COMMON_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace planet {
+
+inline uint64_t NowNanos() {
+  // Host-side timing hook, audited: never feeds simulated state.
+  return static_cast<uint64_t>(  // planet-lint: allow(transitive-wall-clock)
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+inline void StepOnce() { NowNanos(); }
+
+class Simulator {
+ public:
+  void Run() { Append(7); }
+
+ private:
+  void Append(int value) {
+    // Amortized growth, measured and documented.
+    entries_.push_back(value);  // planet-lint: allow(hot-path-alloc)
+  }
+  std::vector<int> entries_;
+};
+
+}  // namespace planet
+
+#endif  // FIXTURE_SUPPRESSED_COMMON_UTIL_H_

@@ -1,0 +1,19 @@
+// Fixture: the shard-unchecked finding is suppressed on the class
+// declaration line with a written justification.
+#ifndef FIXTURE_SUPPRESSED_HARNESS_WIDGET_H_
+#define FIXTURE_SUPPRESSED_HARNESS_WIDGET_H_
+
+namespace planet {
+
+// Worker-private by construction; merged only after the workers join.
+class Widget {  // planet-lint: allow(shard-unchecked)
+ public:
+  void Poke() { ++pokes_; }
+
+ private:
+  int pokes_ = 0;
+};
+
+}  // namespace planet
+
+#endif  // FIXTURE_SUPPRESSED_HARNESS_WIDGET_H_

@@ -1,0 +1,27 @@
+// Fixture helpers: a chain of innocent-looking utilities ending in a wall
+// clock read. planet_analyze must report the steady_clock line with the
+// full chain RunExperiment -> StepOnce -> TickClock -> NowNanos.
+#ifndef FIXTURE_COMMON_UTIL_H_
+#define FIXTURE_COMMON_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace planet {
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+inline uint64_t TickClock() {
+  return NowNanos();  // 2 -> 3 (the fact site)
+}
+
+inline void StepOnce() {
+  TickClock();  // 1 -> 2
+}
+
+}  // namespace planet
+
+#endif  // FIXTURE_COMMON_UTIL_H_

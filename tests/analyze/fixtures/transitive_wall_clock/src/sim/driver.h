@@ -1,0 +1,18 @@
+// Fixture: the sim-world root of a wall-clock chain. The violation is
+// three calls away, in src/common — invisible to the line-local lint
+// (whose wall-clock rule scopes src/sim and friends), visible to
+// planet_analyze's transitive pass.
+#ifndef FIXTURE_SIM_DRIVER_H_
+#define FIXTURE_SIM_DRIVER_H_
+
+#include "common/util.h"
+
+namespace planet {
+
+inline void RunExperiment() {
+  StepOnce();  // root -> 1
+}
+
+}  // namespace planet
+
+#endif  // FIXTURE_SIM_DRIVER_H_

@@ -127,7 +127,7 @@ TEST(Coordinator, ObserverSequencing) {
     observer.on_phase = [&](TxnPhase phase) {
       events.push_back(std::string("phase:") + TxnPhaseName(phase));
     };
-    client->SetObserver(txn, observer);
+    client->SetObserver(txn, std::move(observer));
     client->Commit(txn, [&](Status) { events.push_back("done"); });
   });
   cluster.Drain();

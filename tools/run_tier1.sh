@@ -8,14 +8,17 @@
 #   tools/run_tier1.sh --sanitize thread --filter 'thread|sweep'
 #                                             # TSan, threaded tests only
 #   tools/run_tier1.sh --perf                 # Release bench_micro + perf gate
+#   tools/run_tier1.sh --analyze              # static-analysis tier only
 #
 # --filter RE restricts ctest to tests matching RE (ctest -R). Sanitizer
 # builds also enable PLANET_THREAD_CHECKS (runtime single-owner assertions).
 # --perf skips the test suite: it builds bench_micro in Release
 # (build-perf/), runs it, and gates the result against the committed
 # BENCH_micro.json baseline (tools/perf/check_perf_regression.py; see
-# docs/PERFORMANCE.md). Exits non-zero if configuration, compilation, or
-# any test/gate fails.
+# docs/PERFORMANCE.md). --analyze skips the build entirely: it runs
+# planet_lint and planet_analyze over the source tree (no compiler needed)
+# and leaves findings.json + lock_order.dot in build-analyze/ for triage.
+# Exits non-zero if configuration, compilation, or any test/gate fails.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,8 +27,12 @@ BUILD_DIR=build
 SANITIZE=""
 FILTER=""
 PERF=0
+ANALYZE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
+    --analyze)
+      ANALYZE=1
+      ;;
     --sanitize)
       SANITIZE="address,undefined"
       if [[ $# -gt 1 && "$2" != --* ]]; then
@@ -47,6 +54,17 @@ while [[ $# -gt 0 ]]; do
   esac
   shift
 done
+
+if [[ "$ANALYZE" == 1 ]]; then
+  # Static-analysis tier: line-local invariants (planet_lint), then the
+  # whole-tree semantic passes (planet_analyze). Artifacts land in
+  # build-analyze/ whether or not the gate passes, so CI can upload them.
+  mkdir -p build-analyze
+  tools/lint/planet_lint
+  exec python3 tools/analyze/planet_analyze \
+      --json build-analyze/findings.json \
+      --dot build-analyze/lock_order.dot
+fi
 
 if [[ "$PERF" == 1 ]]; then
   cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
