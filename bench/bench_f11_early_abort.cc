@@ -1,0 +1,122 @@
+// Experiment F11 — predictive early abort (kill doomed txns pre-decision).
+//
+// Zipf-skew sweep under a fixed closed-loop client population, PLANET stack
+// only, two points per skew: vanilla (kill_threshold 0, the pre-feature
+// behaviour bit-for-bit) vs early abort (kill doomed txns as soon as the
+// doom score holds above threshold). Reports goodput-vs-skew curves and the
+// abort-latency split: every conflict abort lands in abort_latency, and the
+// early-killed subset also in early_abort_latency, so the vanilla
+// abort_latency percentiles are the timeout/decision-driven CDF the early
+// path competes against.
+//
+// Expected shape: identical at low skew (the predictor sees no doom, the
+// gauge never trips), and strictly better goodput at high skew — doomed
+// transactions stop burning their closed-loop session on a Paxos round they
+// cannot win, and the abort broadcast releases their options (and unblocks
+// classic-queue waiters) instead of letting them age out.
+//
+//   --quick   1/4 duration and a 3-point skew sweep (CI smoke)
+#include "bench_util.h"
+#include "common/table.h"
+#include "harness/sweep.h"
+
+using namespace planet;
+
+namespace {
+
+constexpr double kKillThreshold = 0.95;
+constexpr double kKillHysteresis = 0.05;
+constexpr int kKillConfirm = 2;
+
+WorkloadConfig MakeWorkload(double theta) {
+  WorkloadConfig wl;
+  wl.num_keys = 1000;
+  wl.dist = KeyDist::kZipf;
+  wl.zipf_theta = theta;
+  wl.reads_per_txn = 1;
+  wl.writes_per_txn = 2;
+  return wl;
+}
+
+RunMetrics RunPoint(double theta, bool early, Duration run_time) {
+  ClusterOptions options;
+  options.seed = 23;
+  options.clients_per_dc = 4;
+  if (early) {
+    options.planet.kill_threshold = kKillThreshold;
+    options.planet.kill_hysteresis = kKillHysteresis;
+    options.planet.kill_confirm = kKillConfirm;
+  }
+  Cluster cluster(options);
+  return bench::RunPlanet(cluster, MakeWorkload(theta), run_time);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --quick before the shared sweep-flag parser sees (and rejects) it.
+  bool quick = false;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  SweepOptions opts = ParseSweepArgs(static_cast<int>(rest.size()),
+                                     rest.data(), "bench_f11_early_abort");
+  const Duration kRun = quick ? Seconds(30) : Seconds(120);
+  const std::vector<double> kThetas =
+      quick ? std::vector<double>{0.5, 0.9, 0.99}
+            : std::vector<double>{0.5, 0.7, 0.8, 0.9, 0.95, 0.99};
+
+  // Two points per skew: [2*i] vanilla, [2*i+1] early abort.
+  std::vector<std::function<RunMetrics()>> points;
+  for (double theta : kThetas) {
+    points.push_back([theta, kRun] { return RunPoint(theta, false, kRun); });
+    points.push_back([theta, kRun] { return RunPoint(theta, true, kRun); });
+  }
+
+  SweepRunner runner(opts);
+  std::vector<RunMetrics> results = runner.Run(std::move(points));
+
+  Table table({"theta", "van gput/s", "early gput/s", "van commit%",
+               "early commit%", "early aborts", "abort p50 (van)",
+               "early-kill p50"});
+  MetricsJson json("f11_early_abort");
+  for (size_t i = 0; i < kThetas.size(); ++i) {
+    double theta = kThetas[i];
+    const RunMetrics& van = results[2 * i];
+    const RunMetrics& early = results[2 * i + 1];
+    table.AddRow({Table::Fmt(theta, 2), Table::Fmt(van.Goodput(kRun), 1),
+                  Table::Fmt(early.Goodput(kRun), 1),
+                  Table::FmtPct(van.CommitRate()),
+                  Table::FmtPct(early.CommitRate()),
+                  Table::FmtInt((long long)early.early_aborts),
+                  Table::FmtUs(van.abort_latency.Percentile(50)),
+                  Table::FmtUs(early.early_abort_latency.Percentile(50))});
+    for (bool is_early : {false, true}) {
+      const RunMetrics& m = is_early ? early : van;
+      MetricsJson::Point point(std::string("theta=") + Table::Fmt(theta, 2) +
+                               " mode=" + (is_early ? "early" : "vanilla"));
+      point.Param("zipf_theta", theta);
+      point.Param("mode", std::string(is_early ? "early" : "vanilla"));
+      if (is_early) {
+        point.Param("kill_threshold", kKillThreshold);
+        point.Param("kill_hysteresis", kKillHysteresis);
+        point.Param("kill_confirm", (long long)kKillConfirm);
+      }
+      point.Metrics(m, kRun);
+      // Both modes carry the early-abort block: the vanilla abort_latency
+      // percentiles are the timeout-driven CDF baseline.
+      point.EarlyAbort(m, kRun);
+      json.Add(std::move(point));
+    }
+  }
+  table.Print("F11: goodput & abort latency vs zipf skew, vanilla vs "
+              "predictive early abort (20 closed-loop clients, 5 DCs)",
+              true);
+  ExportMetricsJson(opts, json);
+  return 0;
+}

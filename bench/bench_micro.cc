@@ -20,6 +20,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/histogram.h"
@@ -399,6 +400,12 @@ int main(int argc, char** argv) {
       json.Add(std::move(point));
     }
     MetricsJson::Point headline("headline");
+    // Cores on the machine that produced this document: the regression gate
+    // skips sim_sharded_run_N comparisons when the candidate machine has
+    // fewer than N cores (the aggregate number measures the scheduler, not
+    // the code, there).
+    headline.Scalar("hw_concurrency",
+                    double(std::thread::hardware_concurrency()));
     headline.Scalar("simulator_events_per_sec", events_per_sec);
     headline.Scalar("network_sends_per_sec", sends_per_sec);
     headline.Scalar("sharded_events_per_sec_8", sharded8_events_per_sec);

@@ -79,6 +79,11 @@ struct RecordedTxn {
   /// window). MDCC transactions are never in doubt: the coordinator is the
   /// single decider and broadcasts aborts for timeouts.
   bool in_doubt = false;
+  /// Killed by the predictive early-abort path before its Paxos round
+  /// resolved. The outcome is a plain kAborted — no option was chosen, the
+  /// AbortNotice broadcast released every pending option — so the oracles
+  /// need no special case; the flag only annotates the witness output.
+  bool early_abort = false;
   std::vector<RecordedRead> reads;    ///< sorted by key
   std::vector<RecordedWrite> writes;  ///< sorted by key
 };

@@ -124,6 +124,10 @@ Status ParseHistoryText(const std::string& text, History* out) {
           txn.in_doubt = true;
           continue;
         }
+        if (!has_value && k == "early_abort") {
+          txn.early_abort = true;
+          continue;
+        }
         uint64_t u = 0;
         int64_t n = 0;
         if (k == "id" && ParseUint(v, &u)) {
@@ -214,6 +218,9 @@ std::string FormatHistoryText(const History& history) {
        << " outcome=" << TxnOutcomeName(txn.outcome) << " begin=" << txn.begin
        << " decide=" << txn.decide;
     if (txn.in_doubt) os << " in_doubt";
+    // Emitted only when set, so pre-feature history files round-trip
+    // byte-identically.
+    if (txn.early_abort) os << " early_abort";
     os << "\n";
     for (const RecordedRead& r : txn.reads) {
       os << "read key=" << r.key << " v=" << r.version;

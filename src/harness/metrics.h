@@ -18,10 +18,18 @@ struct RunMetrics {  // planet-lint: allow(shard-unchecked)
   uint64_t unavailable = 0;  ///< timeouts / partitions
   uint64_t rejected = 0;     ///< admission control
   uint64_t speculative_notifications = 0;
+  /// Aborts delivered by the predictive early-abort path (F11); a subset of
+  /// `aborted`. Zero in every pre-feature run.
+  uint64_t early_aborts = 0;
 
   Histogram latency_committed;  ///< begin -> definitive commit
   Histogram latency_all;        ///< begin -> definitive outcome (any)
   Histogram user_latency;       ///< begin -> first user notification
+  /// begin -> abort, split by how the abort arrived: every conflict abort
+  /// lands in abort_latency, early-killed ones also in early_abort_latency
+  /// (so "timeout-driven vs early" is abort_latency minus the early part).
+  Histogram abort_latency;
+  Histogram early_abort_latency;
 
   /// Wall-clock cost of producing this run, stamped by the bench drivers
   /// (bench/bench_util.h) AFTER the simulation drains. 0 means "not
@@ -40,8 +48,16 @@ struct RunMetrics {  // planet-lint: allow(shard-unchecked)
       ++rejected;
     } else if (result.status.IsUnavailable()) {
       ++unavailable;
+      // Timeout-driven terminations count as aborts for latency purposes:
+      // they are the slow path early abort competes against.
+      abort_latency.Record(result.latency);
     } else {
       ++aborted;
+      abort_latency.Record(result.latency);
+      if (result.early_abort) {
+        ++early_aborts;
+        early_abort_latency.Record(result.latency);
+      }
     }
     latency_all.Record(result.latency);
     user_latency.Record(result.user_latency);
@@ -55,9 +71,12 @@ struct RunMetrics {  // planet-lint: allow(shard-unchecked)
     unavailable += other.unavailable;
     rejected += other.rejected;
     speculative_notifications += other.speculative_notifications;
+    early_aborts += other.early_aborts;
     latency_committed.Merge(other.latency_committed);
     latency_all.Merge(other.latency_all);
     user_latency.Merge(other.user_latency);
+    abort_latency.Merge(other.abort_latency);
+    early_abort_latency.Merge(other.early_abort_latency);
     wall_seconds += other.wall_seconds;
     events_processed += other.events_processed;
   }

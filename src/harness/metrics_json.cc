@@ -149,6 +149,21 @@ MetricsJson::Point& MetricsJson::Point::Speculation(const PlanetStats& s) {
   return *this;
 }
 
+MetricsJson::Point& MetricsJson::Point::EarlyAbort(const RunMetrics& m,
+                                                   Duration run_time) {
+  // goodput_txn_per_sec mirrors goodput_per_s under the name the F11
+  // acceptance tooling keys on; kept in this gated block so pre-feature
+  // documents do not change.
+  Scalar("goodput_txn_per_sec", m.Goodput(run_time));
+  Scalar("early_aborts", double(m.early_aborts));
+  Scalar("early_abort_rate",
+         m.attempted() == 0 ? 0.0
+                            : double(m.early_aborts) / double(m.attempted()));
+  Hist("abort_latency", m.abort_latency);
+  Hist("early_abort_latency", m.early_abort_latency);
+  return *this;
+}
+
 MetricsJson::Point& MetricsJson::Point::Calibration(
     const CalibrationTracker& t) {
   std::string buckets = "[";

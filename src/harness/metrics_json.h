@@ -67,6 +67,13 @@ class MetricsJson {
     /// Speculation accounting from the PLANET layer.
     Point& Speculation(const PlanetStats& s);
 
+    /// Early-abort accounting (experiment F11): goodput_txn_per_sec,
+    /// early-abort counters and the abort-latency split. Emitted as a
+    /// separate opt-in block — not folded into Metrics() — so drivers with
+    /// committed golden output keep their documents byte-identical unless
+    /// they explicitly enable the early-abort path.
+    Point& EarlyAbort(const RunMetrics& m, Duration run_time);
+
     /// Reliability-diagram block (grouped under "calibration").
     Point& Calibration(const CalibrationTracker& t);
 

@@ -227,6 +227,20 @@ void Client::AbortEarly(TxnId txn) {
   txns_.erase(txn);
 }
 
+bool Client::KillInFlight(TxnId txn) {
+  TxnState* state = Find(txn);
+  if (state == nullptr || state->done) return false;
+  if (state->view.phase != TxnPhase::kProposing &&
+      state->view.phase != TxnPhase::kClassic) {
+    return false;
+  }
+  state->early_killed = true;
+  ++early_kills_;
+  Decide(*state, false, Status::Aborted("predicted doom (early abort)"),
+         /*early_kill=*/true);
+  return true;
+}
+
 void Client::ProposeFast(TxnState& state) {
   TxnId txn = state.view.id;
   for (const auto& [key, option] : state.writes) {
@@ -292,7 +306,11 @@ void Client::OnVoteEvent(const VoteEvent& event) {
       ++op->rejects;
     }
     if (state->observer.on_vote) state->observer.on_vote(event);
-    if (!op->decided && !op->classic_inflight) {
+    // A killed transaction's options stop driving the state machine: the
+    // observer above may have just fired KillInFlight, and starting a
+    // classic fallback for a dead transaction would only burn a master
+    // round. Vanilla runs never set early_killed, so the path is unchanged.
+    if (!op->decided && !op->classic_inflight && !state->early_killed) {
       if (op->accepts >= config_.FastQuorum()) {
         OnOptionDecided(*state, *op, /*chosen=*/true, /*via_classic=*/false);
       } else if (op->rejects > config_.num_dcs - config_.FastQuorum()) {
@@ -370,7 +388,7 @@ void Client::OnClassicResult(TxnId txn, Key key, int attempt_epoch,
   if (state == nullptr) return;
   --state->outstanding_replies;
   OptionProgress* op = FindOption(*state, key);
-  if (op != nullptr && !op->decided) {
+  if (op != nullptr && !op->decided && !state->early_killed) {
     if (result.chosen) {
       // A chosen option is chosen regardless of which attempt won the race.
       if (op->failover_event != kInvalidEventId) {
@@ -466,6 +484,7 @@ void Client::RecordDecision(const TxnState& state, bool commit,
   rec.outcome = commit ? TxnOutcome::kCommitted
                 : outcome.IsUnavailable() ? TxnOutcome::kUnavailable
                                           : TxnOutcome::kAborted;
+  rec.early_abort = state.early_killed;
   rec.reads.reserve(state.read_versions.size());
   for (const auto& [key, observed] : state.read_versions) {
     rec.reads.push_back(
@@ -484,7 +503,8 @@ void Client::RecordDecision(const TxnState& state, bool commit,
   recorder_->RecordTxn(std::move(rec));
 }
 
-void Client::Decide(TxnState& state, bool commit, Status outcome) {
+void Client::Decide(TxnState& state, bool commit, Status outcome,
+                    bool early_kill) {
   if (state.done) return;
   state.done = true;
   state.view.decide_time = Now();
@@ -528,9 +548,19 @@ void Client::Decide(TxnState& state, bool commit, Status outcome) {
         std::move(options));
     TxnId txn = state.view.id;
     for (Replica* replica : replicas_) {
-      net_->Send(id_, replica->id(), [replica, txn, commit, shared] {
-        replica->HandleVisibility(txn, commit, *shared);
-      });
+      if (early_kill) {
+        // Early kill: release the pending options with an explicit
+        // AbortNotice instead of a Visibility, so replicas also
+        // short-circuit their resolve backoff for this transaction.
+        net_->Send(id_, replica->id(), MsgClass::kAbortNotice,
+                   [replica, txn, shared] {
+                     replica->HandleAbortNotice(txn, *shared);
+                   });
+      } else {
+        net_->Send(id_, replica->id(), [replica, txn, commit, shared] {
+          replica->HandleVisibility(txn, commit, *shared);
+        });
+      }
     }
   }
 

@@ -143,6 +143,19 @@ class Client : public Node {
   /// Drops an unsubmitted transaction.
   void AbortEarly(TxnId txn);
 
+  /// Predictive early abort (PLANET, experiment F11): abandons a submitted,
+  /// still-undecided transaction immediately instead of riding the Paxos
+  /// round to its certain end. The commit callback fires with Aborted, and
+  /// an AbortNotice broadcast (MsgClass::kAbortNotice) proactively releases
+  /// the transaction's pending options at every replica — late votes and
+  /// classic replies are ignored, and no further fallback work is started
+  /// for the transaction. The coordinator is the sole decider, so killing
+  /// before any decision exists is always safe. Returns false (no-op) when
+  /// the transaction is unknown, not yet submitted, or already decided.
+  bool KillInFlight(TxnId txn);
+
+  uint64_t early_kills() const { return early_kills_; }
+
   /// Live view of a transaction; nullptr once it has been garbage collected
   /// (shortly after its decision).
   const TxnView* View(TxnId txn) const;
@@ -226,6 +239,9 @@ class Client : public Node {
     int options_decided = 0;
     bool done = false;
     bool cb_fired = false;
+    /// Killed by KillInFlight: vote/classic handlers stop driving the
+    /// option state machine (no classic fallback for a dead transaction).
+    bool early_killed = false;
   };
 
   TxnState* Find(TxnId txn);
@@ -246,7 +262,10 @@ class Client : public Node {
   void OnOptionDecided(TxnState& state, OptionProgress& op, bool chosen,
                        bool via_classic);
   void OnTimeout(TxnId txn);
-  void Decide(TxnState& state, bool commit, Status outcome);
+  /// `early_kill` routes the decision broadcast through AbortNotice instead
+  /// of Visibility (KillInFlight only; the vanilla paths never set it).
+  void Decide(TxnState& state, bool commit, Status outcome,
+              bool early_kill = false);
   void SetPhase(TxnState& state, TxnPhase phase);
   void MaybeGc(TxnId txn);
 
@@ -278,6 +297,7 @@ class Client : public Node {
   uint64_t timed_out_ = 0;
   uint64_t classic_fallbacks_ = 0;
   uint64_t failovers_ = 0;
+  uint64_t early_kills_ = 0;
 };
 
 }  // namespace planet

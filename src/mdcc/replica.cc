@@ -49,6 +49,12 @@ void Replica::HandleVisibility(TxnId txn, bool commit,
   });
 }
 
+void Replica::HandleAbortNotice(TxnId txn,
+                                const std::vector<WriteOption>& options) {
+  Serve(config_.replica_service_cost,
+        [this, txn, options] { DoAbortNotice(txn, options); });
+}
+
 void Replica::HandleRead(Key key, NodeId reply_to,
                          std::function<void(RecordView)> reply) {
   Serve(config_.replica_service_cost,
@@ -266,6 +272,24 @@ void Replica::DoVisibility(TxnId txn, bool commit,
       ApplyDecided(option);
     }
     // The key's pending state changed: queued classic proposals may proceed.
+    DrainClassicQueue(option.key);
+  }
+}
+
+void Replica::DoAbortNotice(TxnId txn,
+                            const std::vector<WriteOption>& options) {
+  ++abort_notices_received_;
+  // Learn the abort exactly like an abort Visibility: late accepts for the
+  // transaction are refused from decided_, and resolve queries from peers
+  // that accepted an option get an answer instead of backing off toward
+  // their resolve-timeout cap (the short-circuit the early-abort path buys).
+  decided_.emplace(txn, Decision{Now(), /*commit=*/false});
+  pending_since_.erase(txn);
+  resolve_inflight_.erase(txn);
+  for (const WriteOption& option : options) {
+    PLANET_CHECK(option.txn == txn);
+    store_.RemoveOption(txn, option.key);
+    // The released record unblocks queued classic proposals immediately.
     DrainClassicQueue(option.key);
   }
 }

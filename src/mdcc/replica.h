@@ -81,6 +81,20 @@ class Replica : public Node {
   void HandleVisibility(TxnId txn, bool commit,
                         const std::vector<WriteOption>& options);
 
+  /// Predictive early abort (experiment F11): the coordinator killed the
+  /// transaction before its Paxos round resolved. Semantically an abort
+  /// Visibility — pending options are dropped, the decision is learned so
+  /// late accepts are refused and resolve queries answer — plus an explicit
+  /// short-circuit of the resolve backoff so the slot returns immediately.
+  /// Safe across failover and WAL recovery by construction: the body is
+  /// idempotent, touches only volatile state (never the WAL), rides the
+  /// incarnation-guarded service queue, and the Network drops deliveries to
+  /// crashed nodes — a notice that raced a crash is simply re-resolved by
+  /// the recovery protocol like any other lost decision.
+  void HandleAbortNotice(TxnId txn, const std::vector<WriteOption>& options);
+
+  uint64_t abort_notices_received() const { return abort_notices_received_; }
+
   // -- Reads ------------------------------------------------------------
   /// Committed-visibility read of a key (the serializable / causal path).
   void HandleRead(Key key, NodeId reply_to,
@@ -173,6 +187,7 @@ class Replica : public Node {
                       std::function<void(VoteReply)> reply);
   void DoVisibility(TxnId txn, bool commit,
                     const std::vector<WriteOption>& options);
+  void DoAbortNotice(TxnId txn, const std::vector<WriteOption>& options);
   void DoRead(Key key, NodeId reply_to,
               std::function<void(RecordView)> reply);
   void DoReadSpeculative(  // planet-lint: allow(std-function-hot-path)
@@ -259,6 +274,7 @@ class Replica : public Node {
   uint64_t fast_accept_requests_ = 0;
   uint64_t classic_proposals_ = 0;
   uint64_t stale_epoch_rejects_ = 0;
+  uint64_t abort_notices_received_ = 0;
   /// Committed learns swallowed so far by the chaos_drop_learn mutation.
   uint64_t chaos_dropped_ = 0;
 };

@@ -156,18 +156,27 @@ void PlanetClient::Commit(TxnId txn,
     return;
   }
 
+  // Arm the predictive kill gauge (F11). With the threshold at 0 the gauge
+  // stays disabled and MaybeKill is a single dead branch per progress event.
+  if (pc.kill_threshold > 0) {
+    state->gauge =
+        DoomGauge(pc.kill_threshold, pc.kill_hysteresis, pc.kill_confirm);
+  }
+
   TxnObserver observer;
   observer.on_vote = [this, txn](const VoteEvent&) {
     TxnState* st = Find(txn);
     if (st == nullptr || st->final_known) return;
     ++st->votes_received;
     FireProgress(*st);
+    MaybeKill(*st);
   };
   observer.on_option_decided = [this, txn](Key, bool, bool) {
     TxnState* st = Find(txn);
     if (st == nullptr || st->final_known) return;
     ++st->options_decided;
     FireProgress(*st);
+    MaybeKill(*st);
   };
   observer.on_phase = [this, txn](TxnPhase phase) {
     TxnState* st = Find(txn);
@@ -185,6 +194,19 @@ void PlanetClient::Commit(TxnId txn,
         state->timeout, [this, txn] { OnDeadline(txn); });
   }
   db_->Commit(txn, [this, txn](Status status) { ResolveFinal(txn, status); });
+}
+
+void PlanetClient::MaybeKill(TxnState& state) {
+  if (!state.gauge.enabled() || state.early_aborted) return;
+  // DoomScore: the complement of the live commit-likelihood estimate. The
+  // gauge demands `kill_confirm` consecutive above-threshold observations
+  // with hysteresis, so one noisy vote cannot kill a healthy transaction.
+  double doom = 1.0 - Likelihood(state.id);
+  if (!state.gauge.Update(doom)) return;
+  if (db_->KillInFlight(state.id)) {
+    state.early_aborted = true;
+    ++ctx_->stats().early_aborts;
+  }
 }
 
 void PlanetClient::AbortEarly(TxnId txn) {
@@ -278,6 +300,7 @@ void PlanetClient::NotifyUser(TxnState& state, Status status,
     Outcome outcome;
     outcome.status = std::move(status);
     outcome.speculative = speculative;
+    outcome.early_abort = state.early_aborted;
     outcome.user_latency = user_latency;
     auto cb = std::move(state.user_cb);
     cb(outcome);

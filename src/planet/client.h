@@ -24,6 +24,9 @@ struct PlanetStats {
   uint64_t speculation_correct = 0;
   uint64_t apologies = 0;
   uint64_t gave_up = 0;
+  /// Transactions killed by the predictive early-abort path (experiment
+  /// F11); every early abort is also counted in `aborted`.
+  uint64_t early_aborts = 0;
 
   Histogram commit_latency;  ///< Begin -> definitive commit (committed only)
   Histogram final_latency;   ///< Begin -> definitive outcome (all)
@@ -154,12 +157,20 @@ class PlanetClient {
     int votes_total = 0;
     int options_total = 0;
     int options_decided = 0;
+    /// Predictive early abort: armed at submit when kill_threshold > 0.
+    DoomGauge gauge;
+    bool early_aborted = false;
   };
 
   TxnState* Find(TxnId txn);
   const TxnState* Find(TxnId txn) const;
   void SetStage(TxnState& state, PlanetStage stage);
   void FireProgress(TxnState& state);
+  /// Feeds the kill gauge with the current DoomScore (1 - likelihood) and
+  /// kills the transaction through the coordinator once it trips. No-op —
+  /// a single branch, no events, no RNG — when the gauge is disabled, so
+  /// kill_threshold = 0 replays byte-identical to the vanilla stack.
+  void MaybeKill(TxnState& state);
   void NotifyUser(TxnState& state, Status status, bool speculative);
   void ResolveFinal(TxnId txn, Status status);
   void OnDeadline(TxnId txn);

@@ -8,6 +8,25 @@
 
 namespace planet {
 
+// -------------------------------------------------------------- doom gauge
+
+DoomGauge::DoomGauge(double threshold, double hysteresis, int confirm)
+    : threshold_(threshold),
+      hysteresis_(std::max(0.0, hysteresis)),
+      confirm_(std::max(1, confirm)) {}
+
+bool DoomGauge::Update(double doom) {
+  if (threshold_ <= 0.0) return false;
+  if (doom >= threshold_) {
+    ++streak_;
+  } else if (doom < threshold_ - hysteresis_) {
+    streak_ = 0;
+  }
+  // Inside the hysteresis band the streak holds: evidence has weakened but
+  // not recovered, so neither arm nor disarm.
+  return streak_ >= confirm_;
+}
+
 // ---------------------------------------------------------------- latency
 
 LatencyModel::LatencyModel(int num_dcs, Duration prior_hint)

@@ -71,6 +71,48 @@ struct PlanetConfig {
   /// this is treated as dead by the estimator — its outstanding votes are
   /// dropped from every quorum term. 0 disables failure detection.
   Duration dead_after = 0;
+
+  /// Predictive early abort (experiment F11): kill an in-flight transaction
+  /// as soon as its DoomScore (1 - commit likelihood) stays at or above this
+  /// threshold for `kill_confirm` consecutive progress events. 0 disables
+  /// the path entirely — no gauge is evaluated, no extra work is done, and
+  /// runs replay byte-identical to the pre-feature stack.
+  double kill_threshold = 0.0;
+
+  /// Hysteresis band below the kill threshold: the confirmation streak only
+  /// resets once doom falls below `kill_threshold - kill_hysteresis`, so a
+  /// score oscillating around the threshold cannot flap the decision.
+  double kill_hysteresis = 0.05;
+
+  /// Consecutive at-or-above-threshold observations required before the
+  /// kill fires (absorbs single-vote noise).
+  int kill_confirm = 2;
+};
+
+/// Per-transaction kill gauge for predictive early abort. Feeds on the
+/// DoomScore (1 - commit likelihood) after every progress event; trips once
+/// the score holds at or above the threshold for `confirm` consecutive
+/// observations. A hysteresis band keeps a borderline score from flapping
+/// the streak: within [threshold - hysteresis, threshold) the streak holds
+/// its value, and only a clear recovery below the band resets it.
+/// Plain value type — one per in-flight transaction, no allocation.
+class DoomGauge {
+ public:
+  DoomGauge() = default;
+  DoomGauge(double threshold, double hysteresis, int confirm);
+
+  /// Observes one doom score; returns true when the kill decision fires.
+  /// Disabled gauges (threshold <= 0) always return false.
+  bool Update(double doom);
+
+  bool enabled() const { return threshold_ > 0.0; }
+  int streak() const { return streak_; }
+
+ private:
+  double threshold_ = 0.0;
+  double hysteresis_ = 0.0;
+  int confirm_ = 1;
+  int streak_ = 0;
 };
 
 /// Passive failure detector fed by the coordinator's own traffic: every

@@ -64,6 +64,9 @@ struct TxnProgress {
 struct Outcome {
   Status status;
   bool speculative = false;
+  /// The transaction was killed by the predictive early-abort path (its
+  /// status is Aborted; no Paxos round was waited out).
+  bool early_abort = false;
   Duration user_latency = 0;  ///< Begin() -> this notification
 };
 

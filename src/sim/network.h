@@ -49,6 +49,15 @@ struct DcDegradation {
   double extra_sigma = 0.0;   ///< extra jitter while degraded
 };
 
+/// Protocol class of a message, for per-class accounting. Untagged sends
+/// are kData; a tagged Send bumps the class counter and then takes the
+/// exact same delivery path, so tagging never perturbs the schedule.
+enum class MsgClass {
+  kData = 0,         ///< default: all untagged protocol traffic
+  kAbortNotice = 1,  ///< predictive early-abort broadcast (experiment F11)
+};
+inline constexpr int kNumMsgClasses = 2;
+
 /// The message fabric. Nodes are registered with their data center; sends
 /// are closures delivered on the destination's behalf after the sampled
 /// one-way delay.
@@ -101,6 +110,21 @@ class Network {
     // crashes before it lands is lost with the node's receive buffers.
     sim_->Schedule(delay, DeliveryEvent<std::decay_t<F>>{
                               this, dst, std::forward<F>(deliver)});
+  }
+
+  /// Tagged send: identical delivery semantics to the untagged overload,
+  /// plus per-class accounting (class_sent). The default path stays free of
+  /// the extra counter bump.
+  template <typename F>
+  void Send(NodeId src, NodeId dst, MsgClass cls, F&& deliver) {
+    ++class_sent_[static_cast<size_t>(cls)];
+    Send(src, dst, std::forward<F>(deliver));
+  }
+
+  /// Messages sent with the given tag (kData counts only tagged sends;
+  /// untagged traffic is messages_sent() minus the tagged classes).
+  uint64_t class_sent(MsgClass cls) const {
+    return class_sent_[static_cast<size_t>(cls)];
   }
 
   /// Samples what the one-way latency would be right now (no send).
@@ -184,6 +208,7 @@ class Network {
   uint64_t messages_sent_;
   uint64_t messages_dropped_;
   uint64_t messages_retransmitted_;
+  uint64_t class_sent_[kNumMsgClasses] = {};
 };
 
 }  // namespace planet

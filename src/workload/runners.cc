@@ -37,6 +37,7 @@ struct InFlight {
   SimTime begin = 0;
   Duration user_latency = 0;
   bool speculative = false;
+  bool early_abort = false;
   std::function<void(TxnResult)> done;
   // Instrumentation (PLANET runner only).
   std::vector<TxnProgress> trace;
@@ -94,6 +95,7 @@ TxnRunner MakePlanetRunner(PlanetClient* client, const WorkloadConfig& config,
       result.user_latency =
           fly->user_latency > 0 ? fly->user_latency : result.latency;
       result.speculative = fly->speculative;
+      result.early_abort = fly->early_abort;
       if (policy.midflight_tracker != nullptr && fly->midflight_sampled &&
           !result.status.IsUnavailable()) {
         policy.midflight_tracker->Record(fly->midflight_likelihood,
@@ -117,6 +119,7 @@ TxnRunner MakePlanetRunner(PlanetClient* client, const WorkloadConfig& config,
       t.Commit([fly](const Outcome& outcome) {
         fly->user_latency = outcome.user_latency;
         fly->speculative = outcome.speculative;
+        fly->early_abort = outcome.early_abort;
       });
     };
 

@@ -78,6 +78,7 @@ struct TxnResult {
   Duration latency = 0;       ///< begin -> definitive outcome
   Duration user_latency = 0;  ///< begin -> first user notification
   bool speculative = false;   ///< user notification was a speculation
+  bool early_abort = false;   ///< killed by predictive early abort (F11)
 };
 
 /// A function that runs one transaction and reports its result exactly once.

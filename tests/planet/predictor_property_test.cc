@@ -161,5 +161,92 @@ TEST(PredictorProperty, FreshLikelihoodMatchesZeroVoteEstimate) {
   }
 }
 
+TEST(DoomGaugeProperty, KillMonotoneInConflictEvidence) {
+  // Pointwise-stronger doom evidence must never delay the kill: feed two
+  // random sequences where B dominates A observation by observation; if the
+  // gauge fires on A at step i, it must fire on B at some step <= i.
+  Rng rng(1112);
+  for (int trial = 0; trial < 1000; ++trial) {
+    double threshold = 0.5 + 0.45 * rng.NextDouble();
+    double hysteresis = 0.1 * rng.NextDouble();
+    int confirm = static_cast<int>(rng.UniformInt(1, 4));
+    DoomGauge weak(threshold, hysteresis, confirm);
+    DoomGauge strong(threshold, hysteresis, confirm);
+
+    int steps = static_cast<int>(rng.UniformInt(1, 60));
+    int weak_fired_at = -1, strong_fired_at = -1;
+    for (int i = 0; i < steps; ++i) {
+      double doom = rng.NextDouble();
+      double bump = (1.0 - doom) * rng.NextDouble();
+      if (weak.Update(doom) && weak_fired_at < 0) weak_fired_at = i;
+      if (strong.Update(doom + bump) && strong_fired_at < 0) {
+        strong_fired_at = i;
+      }
+    }
+    if (weak_fired_at >= 0) {
+      ASSERT_TRUE(strong_fired_at >= 0 && strong_fired_at <= weak_fired_at)
+          << "trial " << trial << ": stronger evidence fired at "
+          << strong_fired_at << " but weaker fired at " << weak_fired_at;
+    }
+  }
+}
+
+TEST(DoomGaugeProperty, HysteresisPreventsFlapping) {
+  // Observations inside [threshold - hysteresis, threshold) hold the armed
+  // streak: doom oscillating across the threshold but staying inside the
+  // band still accumulates toward confirm instead of flapping. Without the
+  // band (hysteresis 0) the same dip resets the streak.
+  Rng rng(3136);
+  for (int trial = 0; trial < 1000; ++trial) {
+    double threshold = 0.5 + 0.4 * rng.NextDouble();
+    double hysteresis = 0.05 + 0.1 * rng.NextDouble();
+    int confirm = static_cast<int>(rng.UniformInt(2, 5));
+    DoomGauge banded(threshold, hysteresis, confirm);
+    DoomGauge sharp(threshold, 0.0, confirm);
+
+    // confirm-1 observations at/above threshold arm both gauges.
+    for (int i = 0; i < confirm - 1; ++i) {
+      double doom = threshold + (1.0 - threshold) * rng.NextDouble();
+      ASSERT_FALSE(banded.Update(doom));
+      ASSERT_FALSE(sharp.Update(doom));
+    }
+    // A dip inside the band holds the banded streak and resets the sharp one.
+    int dips = static_cast<int>(rng.UniformInt(1, 10));
+    for (int i = 0; i < dips; ++i) {
+      double in_band =
+          threshold - hysteresis * (0.01 + 0.98 * rng.NextDouble());
+      ASSERT_FALSE(banded.Update(in_band));
+      ASSERT_FALSE(sharp.Update(in_band));
+    }
+    // The next doomed observation completes the banded streak only.
+    double doom = threshold + (1.0 - threshold) * rng.NextDouble();
+    ASSERT_TRUE(banded.Update(doom)) << "trial " << trial;
+    ASSERT_FALSE(sharp.Update(doom)) << "trial " << trial;
+    // A fall below the band resets even the banded gauge.
+    banded = DoomGauge(threshold, hysteresis, confirm);
+    for (int i = 0; i < confirm - 1; ++i) {
+      ASSERT_FALSE(banded.Update(threshold));
+    }
+    ASSERT_FALSE(banded.Update(threshold - hysteresis - 0.01));
+    ASSERT_EQ(banded.streak(), 0) << "trial " << trial;
+  }
+}
+
+TEST(DoomGaugeProperty, ThresholdZeroIsInert) {
+  // kill_threshold <= 0 disables the path: Update never fires and the
+  // streak never arms, whatever the evidence — the config contract that
+  // keeps disabled runs byte-identical to pre-feature builds.
+  Rng rng(9990);
+  DoomGauge off(0.0, 0.05, 1);
+  DoomGauge negative(-1.0, 0.05, 1);
+  for (int i = 0; i < 1000; ++i) {
+    double doom = rng.NextDouble();
+    ASSERT_FALSE(off.Update(doom));
+    ASSERT_FALSE(negative.Update(doom));
+  }
+  ASSERT_FALSE(off.enabled());
+  ASSERT_FALSE(off.Update(1.0));
+}
+
 }  // namespace
 }  // namespace planet

@@ -86,6 +86,12 @@ struct FuzzFlags {
   int64_t keys_override = -1;
   int reads_override = -1;
   int writes_override = -1;
+  /// Predictive early abort (F11). 0 = off (the default keeps every
+  /// committed corpus repro line replaying byte-identically);
+  /// --derive-kill-threshold samples a per-seed threshold instead.
+  double kill_threshold = 0;
+  int kill_confirm = 2;
+  bool derive_kill = false;
 };
 
 /// One fully derived scenario. Everything the run depends on lives here, so
@@ -110,6 +116,10 @@ struct FuzzCase {
   int64_t keys_override = -1;
   int reads_override = -1;
   int writes_override = -1;
+  /// Effective early-abort knobs (derived or overridden); repro lines echo
+  /// the resolved values so replays never re-derive.
+  double kill_threshold = 0;
+  int kill_confirm = 2;
 };
 
 /// Debug aid (--dump-key): prints one key's per-replica state, its WAL
@@ -315,6 +325,21 @@ FuzzCase DeriveCase(uint64_t seed, const FuzzFlags& flags) {
   if (flags.writes_override >= 0) c.wl.writes_per_txn = flags.writes_override;
   if (c.wl.writes_per_txn == 0) c.wl.commutative = false;
 
+  // Early-abort derivation rides its own fork (16) and runs after every
+  // pre-existing draw, so turning it on never shifts another aspect's
+  // stream — seed N's workload/faults are the same with or without it.
+  c.kill_threshold = flags.kill_threshold;
+  c.kill_confirm = flags.kill_confirm;
+  if (flags.derive_kill) {
+    Rng kill_rng = Rng(seed).Fork(16);
+    // Half the seeds keep the path off (the control arm); the rest sample
+    // the plausible operating band.
+    if (kill_rng.Bernoulli(0.5)) {
+      c.kill_threshold = 0.7 + 0.29 * kill_rng.NextDouble();
+      c.kill_confirm = static_cast<int>(kill_rng.UniformInt(1, 3));
+    }
+  }
+
   if (c.stack == StackKind::kTpc) {
     // 2PC has no anti-entropy: replicas a fault made miss replication stay
     // behind forever, which is the baseline's documented blocking behaviour,
@@ -392,6 +417,8 @@ RunOutcome RunMdccOrPlanet(const FuzzCase& c) {
   options.recovery_period = Seconds(1);
   options.faults = c.faults;
   options.isolation = c.isolation;
+  options.planet.kill_threshold = c.kill_threshold;
+  options.planet.kill_confirm = c.kill_confirm;
   Cluster cluster(options);
 
   HistoryRecorder recorder;
@@ -502,6 +529,14 @@ std::string ReproLine(const FuzzCase& c) {
   if (c.keys_override > 0) oss << " --keys " << c.keys_override;
   if (c.reads_override >= 0) oss << " --reads " << c.reads_override;
   if (c.writes_override >= 0) oss << " --writes " << c.writes_override;
+  if (c.kill_threshold > 0 && c.stack == StackKind::kPlanet) {
+    // Echo the *effective* threshold (derived or flagged): replays pin the
+    // value directly instead of re-deriving.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " --kill-threshold %.6f --kill-confirm %d",
+                  c.kill_threshold, c.kill_confirm);
+    oss << buf;
+  }
   for (const auto& [txn, delay] : c.delays) {
     oss << " --delay-txn " << txn << ":" << delay;
   }
@@ -516,6 +551,12 @@ std::string CaseSummary(const FuzzCase& c) {
       << "x5 faults=" << c.faults.size();
   if (c.isolation != IsolationLevel::kSerializable) {
     oss << " iso=" << IsolationLevelName(c.isolation);
+  }
+  if (c.kill_threshold > 0 && c.stack == StackKind::kPlanet) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " kill=%.3f/%d", c.kill_threshold,
+                  c.kill_confirm);
+    oss << buf;
   }
   if (!c.delays.empty()) oss << " delays=" << c.delays.size();
   return oss.str();
@@ -600,6 +641,14 @@ int Usage() {
       "  --keys N              override derived key-space size\n"
       "  --reads N             override derived reads per txn\n"
       "  --writes N            override derived writes per txn\n"
+      "  --kill-threshold X    predictive early abort: kill in-flight PLANET\n"
+      "                        txns whose doom score holds >= X (default 0 =\n"
+      "                        off; repro lines echo the effective value)\n"
+      "  --kill-confirm N      consecutive doomed observations before the\n"
+      "                        kill fires (default 2)\n"
+      "  --derive-kill-threshold\n"
+      "                        sample kill threshold/confirm per seed (half\n"
+      "                        the seeds stay off as the control arm)\n"
       "  --predict             predictive pass: enumerate feasible commit\n"
       "                        reorderings of each clean run, replay each\n"
       "                        with delay directives, report confirmed\n"
@@ -656,6 +705,16 @@ int Main(int argc, char** argv) {
       flags.reads_override = std::atoi(next());
     } else if (arg == "--writes") {
       flags.writes_override = std::atoi(next());
+    } else if (arg == "--kill-threshold") {
+      flags.kill_threshold = std::atof(next());
+    } else if (arg == "--kill-confirm") {
+      flags.kill_confirm = std::atoi(next());
+      if (flags.kill_confirm < 1) {
+        std::fprintf(stderr, "--kill-confirm wants a positive count\n");
+        return Usage();
+      }
+    } else if (arg == "--derive-kill-threshold") {
+      flags.derive_kill = true;
     } else if (arg == "--predict") {
       flags.predict = true;
     } else if (arg == "--expect-witness") {

@@ -10,23 +10,45 @@ noisy and throttled, while the regressions this gate exists to catch — a
 reintroduced per-event heap allocation, a map walk back on the send path —
 are 10x, not 1.3x. Components present in only one document are reported
 but never fail the gate (adding a benchmark must not break CI).
+
+sim_sharded_run_N components are core-count-aware: when the candidate
+document's headline stamps hw_concurrency < N, the comparison is skipped —
+an N-shard aggregate on a machine with fewer than N cores measures the OS
+scheduler, not the code, and a baseline recorded on a bigger machine would
+fail it spuriously.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
-def load_components(path):
+def load_doc(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     comps = {}
+    hw_concurrency = None
     for point in doc.get("points", []):
         label = point.get("label", "")
         ns = point.get("ns_per_op")
         if label and isinstance(ns, (int, float)) and ns > 0:
             comps[label] = float(ns)
-    return comps
+        if label == "headline":
+            hw = point.get("hw_concurrency")
+            if isinstance(hw, (int, float)) and hw > 0:
+                hw_concurrency = int(hw)
+    return comps, hw_concurrency
+
+
+def load_components(path):
+    return load_doc(path)[0]
+
+
+def sharded_shards(label):
+    """Shard count of a sim_sharded_run_N label, else None."""
+    m = re.fullmatch(r"sim_sharded_run_(\d+)", label)
+    return int(m.group(1)) if m else None
 
 
 def main():
@@ -39,7 +61,7 @@ def main():
     args = ap.parse_args()
 
     base = load_components(args.baseline)
-    cand = load_components(args.candidate)
+    cand, cand_cores = load_doc(args.candidate)
     if not base:
         print(f"check_perf_regression: no components with ns_per_op in "
               f"{args.baseline}", file=sys.stderr)
@@ -49,6 +71,12 @@ def main():
     for label in sorted(base):
         if label not in cand:
             print(f"  {label:24s} missing from candidate (skipped)")
+            continue
+        shards = sharded_shards(label)
+        if shards is not None and cand_cores is not None \
+                and cand_cores < shards:
+            print(f"  {label:24s} skipped ({shards} shards > "
+                  f"{cand_cores} candidate cores)")
             continue
         ratio = cand[label] / base[label]
         verdict = "FAIL" if ratio > args.factor else "ok"

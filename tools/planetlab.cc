@@ -58,6 +58,12 @@ struct Args {
   double threshold = -1;
   bool giveup = false;
   double admission = 0;
+  /// Predictive early abort (F11). 0 disables the path entirely; runs with
+  /// kill_threshold == 0 stay byte-identical to pre-feature builds, which
+  /// the committed golden configs rely on.
+  double kill_threshold = 0;
+  double kill_hysteresis = 0.05;
+  int kill_confirm = 2;
   // spike: dc:start_s:end_s:extra_ms
   bool spike = false;
   int spike_dc = 0, spike_start = 0, spike_end = 0, spike_extra_ms = 0;
@@ -97,6 +103,13 @@ planet:     --deadline MS     speculation deadline
             --threshold X     speculate when likelihood >= X
             --giveup          below threshold, notify "pending"
             --admission TAU   enable admission control
+            --kill-threshold X  predictive early abort: kill in-flight txns
+                              whose doom score (1 - likelihood) holds >= X
+                              (0 disables; replay is byte-identical)
+            --kill-hysteresis X  doom must fall below X - hysteresis to
+                              reset the kill streak (default 0.05)
+            --kill-confirm N  consecutive doomed observations before the
+                              kill fires (default 2)
 faults:     --spike DC:START:END:MS   latency spike on one DC
             --fault SPEC      deterministic fault schedule, e.g.
                               "crash@20:1,restart@50:1" or
@@ -172,6 +185,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->giveup = true;
     } else if (a == "--admission") {
       args->admission = atof(need(i));
+    } else if (a == "--kill-threshold") {
+      args->kill_threshold = atof(need(i));
+    } else if (a == "--kill-hysteresis") {
+      args->kill_hysteresis = atof(need(i));
+    } else if (a == "--kill-confirm") {
+      args->kill_confirm = atoi(need(i));
+      if (args->kill_confirm < 1) {
+        std::fprintf(stderr, "--kill-confirm wants a positive count\n");
+        return false;
+      }
     } else if (a == "--spike") {
       args->spike = true;
       if (sscanf(need(i), "%d:%d:%d:%d", &args->spike_dc, &args->spike_start,
@@ -266,6 +289,10 @@ void PrintSummary(const Args& args, const LabResult& r) {
                      Table::Fmt(r.planet_stats.ApologyRate(), 4)});
     outcomes.AddRow({"gave up",
                      Table::FmtInt((long long)r.planet_stats.gave_up)});
+    if (args.kill_threshold > 0) {
+      outcomes.AddRow({"early aborts",
+                       Table::FmtInt((long long)r.planet_stats.early_aborts)});
+    }
   }
   outcomes.Print("outcomes", args.csv);
 
@@ -300,6 +327,13 @@ void ExportJson(const Args& args, const LabResult& r) {
   }
   if (args.threshold >= 0) point.Param("threshold", args.threshold);
   if (args.admission > 0) point.Param("admission", args.admission);
+  // Gated on the flag (not on has_planet_stats): disabled runs must keep
+  // producing documents byte-identical to the committed goldens.
+  if (args.kill_threshold > 0) {
+    point.Param("kill_threshold", args.kill_threshold);
+    point.Param("kill_hysteresis", args.kill_hysteresis);
+    point.Param("kill_confirm", (long long)args.kill_confirm);
+  }
   if (!args.fault_spec.empty()) point.Param("fault", args.fault_spec);
   if (args.failover_ms > 0) {
     point.Param("failover_ms", (long long)args.failover_ms);
@@ -310,6 +344,9 @@ void ExportJson(const Args& args, const LabResult& r) {
   point.Scalar("replicas_converged", r.converged ? 1 : 0);
   point.Metrics(r.metrics, Seconds(args.duration_s));
   if (r.has_planet_stats) point.Speculation(r.planet_stats);
+  if (args.kill_threshold > 0) {
+    point.EarlyAbort(r.metrics, Seconds(args.duration_s));
+  }
   json.Add(std::move(point));
   ExportMetricsJson(args.sweep, json);
 }
@@ -396,6 +433,9 @@ LabResult RunMdccOrPlanetSharded(const Args& args) {
   base.isolation = args.isolation;
   base.planet.enable_admission = args.admission > 0;
   base.planet.admission_threshold = args.admission;
+  base.planet.kill_threshold = args.kill_threshold;
+  base.planet.kill_hysteresis = args.kill_hysteresis;
+  base.planet.kill_confirm = args.kill_confirm;
   base.faults = args.faults;
   if (args.failover_ms > 0) {
     base.mdcc.master_failover_timeout = Millis(args.failover_ms);
@@ -462,6 +502,7 @@ LabResult RunMdccOrPlanetSharded(const Args& args) {
       out.speculation_correct += ps.speculation_correct;
       out.apologies += ps.apologies;
       out.gave_up += ps.gave_up;
+      out.early_aborts += ps.early_aborts;
       out.commit_latency.Merge(ps.commit_latency);
       out.final_latency.Merge(ps.final_latency);
       out.user_latency.Merge(ps.user_latency);
@@ -479,6 +520,9 @@ LabResult RunMdccOrPlanet(const Args& args) {
   options.isolation = args.isolation;
   options.planet.enable_admission = args.admission > 0;
   options.planet.admission_threshold = args.admission;
+  options.planet.kill_threshold = args.kill_threshold;
+  options.planet.kill_hysteresis = args.kill_hysteresis;
+  options.planet.kill_confirm = args.kill_confirm;
   options.faults = args.faults;
   if (args.failover_ms > 0) {
     options.mdcc.master_failover_timeout = Millis(args.failover_ms);
